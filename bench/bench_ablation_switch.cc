@@ -1,0 +1,55 @@
+// Ablation of the NTT-specific fixed-function switch (Section III-C):
+// logic cost vs a traditional crossbar switch, and transfer-cycle cost of
+// a butterfly stage, across row counts and bit-widths.
+#include <iostream>
+
+#include "arch/chip.h"
+#include "common/table.h"
+#include "model/performance.h"
+#include "ntt/params.h"
+#include "pim/switch.h"
+
+namespace cp = cryptopim;
+
+int main() {
+  std::cout << "== Ablation: fixed-function switch vs full crossbar ==\n\n";
+
+  cp::Table t({"rows", "fixed-function (logic/row)", "crossbar (logic/row)",
+               "logic reduction"});
+  for (const unsigned rows : {8u, 32u, 128u, 512u}) {
+    const auto ff = cp::pim::FixedFunctionSwitch::logic_per_row();
+    const auto xbar = cp::pim::FixedFunctionSwitch::crossbar_logic_per_row(rows);
+    t.add_row({std::to_string(rows), std::to_string(ff), std::to_string(xbar),
+               cp::fmt_x(static_cast<double>(xbar) / ff, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe fixed-function switch wires exactly three routes per\n"
+               "row (A->A, A->A+s, A->A-s) for one hard-coded stride, so its\n"
+               "logic is independent of the port count; a crossbar grows\n"
+               "linearly per row (quadratically in total).\n\n";
+
+  cp::Table c({"bitwidth", "transfer cycles/stage (3N)",
+               "share of CryptoPIM stage"});
+  for (const std::uint32_t n : {256u, 2048u}) {
+    const auto l = cp::model::paper_latency(n);
+    const std::uint64_t stage = l.sub + l.mult + l.transfer;
+    c.add_row({std::to_string(l.bitwidth), std::to_string(l.transfer),
+               cp::fmt_pct(static_cast<double>(l.transfer) / stage, 1)});
+  }
+  c.print(std::cout);
+  std::cout << "\nTransfers stay under ~3% of the slowest stage, which is\n"
+               "why the pipeline's energy overhead is only ~2%.\n\n";
+
+  // What if every pipeline hop needed a full crossbar? Rough logic-area
+  // proxy: switch elements per bank.
+  const auto chip = cp::arch::ChipConfig::paper_chip();
+  const std::uint64_t hops = chip.blocks_per_bank - 1;
+  const std::uint64_t ff_total = hops * 512 * 3;
+  const std::uint64_t xb_total = hops * 512ull * 512ull;
+  cp::Table a({"per-bank switch fabric", "elements"});
+  a.add_row({"fixed-function (paper design)", cp::fmt_i(ff_total)});
+  a.add_row({"full crossbar (hypothetical)", cp::fmt_i(xb_total)});
+  a.add_row({"saving", cp::fmt_x(static_cast<double>(xb_total) / ff_total, 0)});
+  a.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces the Section IV-A robustness study: 5000 Monte-Carlo trials
+// with 10% process variation on the RRAM device parameters; the paper
+// observed a maximum 25.6% reduction in resistance noise margin with no
+// functional failures thanks to the high R_off/R_on ratio.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "pim/device.h"
+
+namespace cp = cryptopim;
+
+int main() {
+  std::cout << "== Device robustness: Monte-Carlo noise-margin sweep ==\n"
+            << "(VTEAM-flavoured RRAM, 45nm, cycle 1.1ns; paper: 5000\n"
+            << "trials @ 10% variation -> max 25.6% margin loss, still\n"
+            << "functional)\n\n";
+
+  const auto dev = cp::pim::DeviceModel::paper_45nm();
+  cp::Table t({"variation", "trials", "nominal margin", "worst margin",
+               "max reduction", "functional"});
+  for (const double var : {0.05, 0.10, 0.20, 0.30}) {
+    cp::Xoshiro256 rng(2020);
+    const auto res = cp::pim::monte_carlo_noise_margin(dev, 5000, var, rng);
+    t.add_row({cp::fmt_pct(var, 0), "5000", cp::fmt_f(res.nominal_margin, 4),
+               cp::fmt_f(res.worst_margin, 4),
+               cp::fmt_f(res.max_reduction_pct, 1) + "%",
+               res.functional ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nAt the paper's 10% corner the margin degrades by a\n"
+               "bounded amount and never approaches the sensing threshold:\n"
+               "R_off/R_on = "
+            << dev.r_off_ohm / dev.r_on_ohm
+            << " keeps the divider margin near 1.\n";
+  return 0;
+}

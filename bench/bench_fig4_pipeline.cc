@@ -1,0 +1,76 @@
+// Regenerates Fig. 4: stage-by-stage breakdown of the three pipeline
+// arrangements (area-efficient, naive, CryptoPIM) at n = 256 / 16-bit,
+// with the slowest stage highlighted and compared against the published
+// stage latencies (2700 / 1756 / 1643 cycles).
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "arch/pipeline.h"
+#include "common/table.h"
+#include "model/latency.h"
+#include "model/paper_constants.h"
+#include "model/performance.h"
+
+namespace cp = cryptopim;
+using cp::arch::PipelineSpec;
+using cp::arch::PipelineVariant;
+
+namespace {
+
+void print_variant(PipelineVariant v, std::uint64_t paper_stage) {
+  const std::uint32_t n = 256;
+  const auto l = cp::model::paper_latency(n);
+  const auto spec = PipelineSpec::build(n, v);
+
+  std::uint64_t worst = 0;
+  for (const auto& st : spec.stages) {
+    worst = std::max(worst, cp::model::stage_cycles(st, l));
+  }
+
+  std::cout << "-- " << cp::arch::to_string(v) << " pipeline: " << spec.depth()
+            << " stages, slowest " << worst << " cycles (paper "
+            << paper_stage << ", "
+            << cp::fmt_x(static_cast<double>(worst) / paper_stage, 3) << ")\n";
+
+  // Distinct stage shapes with multiplicity (the full chain repeats the
+  // same butterfly grouping per level).
+  std::map<std::uint64_t, std::pair<std::string, unsigned>> shapes;
+  for (const auto& st : spec.stages) {
+    const auto c = cp::model::stage_cycles(st, l);
+    auto& e = shapes[c];
+    if (e.second == 0) e.first = st.name;
+    e.second += 1;
+  }
+  cp::Table t({"stage shape (first instance)", "count", "cycles",
+               "slowest?"});
+  for (auto it = shapes.rbegin(); it != shapes.rend(); ++it) {
+    t.add_row({it->second.first, std::to_string(it->second.second),
+               cp::fmt_i(it->first), it->first == worst ? "  <== " : ""});
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Fig. 4: pipeline arrangements at n=256, 16-bit ==\n"
+            << "Stage latency = switch transfer (3N) + grouped ops;\n"
+            << "per-op cycles from the paper formulas + Table I.\n\n";
+
+  print_variant(PipelineVariant::kAreaEfficient,
+                cp::model::paper::kFig4AreaEfficientStage);
+  print_variant(PipelineVariant::kNaive, cp::model::paper::kFig4NaiveStage);
+  print_variant(PipelineVariant::kCryptoPim,
+                cp::model::paper::kFig4CryptoPimStage);
+
+  std::cout
+      << "The CryptoPIM grouping fuses [sub+mult] and [Montgomery+add+\n"
+         "Barrett], cutting the slowest stage from 2748 to 1644 cycles\n"
+         "(paper: 2700 -> 1643) while only doubling the stage count of the\n"
+         "area-efficient arrangement instead of quintupling it (naive).\n"
+         "Our naive-pipeline slowest stage is mult+transfer = 1531; the\n"
+         "paper reports 1756 for this arrangement.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates Fig. 5: normalized latency and throughput of non-pipelined
+// (NP) and pipelined (P) CryptoPIM over the eight evaluated degrees, plus
+// the energy series and the paper's aggregate claims (27.8x / 36.3x
+// throughput gain, +29% / +59.7% latency overhead, +1.6% energy).
+#include <iostream>
+
+#include "common/table.h"
+#include "model/paper_constants.h"
+#include "model/performance.h"
+#include "ntt/params.h"
+
+namespace cp = cryptopim;
+
+int main() {
+  std::cout << "== Fig. 5: latency/throughput/energy of NP vs P CryptoPIM ==\n"
+            << "(model values; normalization base = n=256 NP, as in the\n"
+            << "paper's figure)\n\n";
+
+  const auto base_np = cp::model::cryptopim_non_pipelined(256);
+  const auto base_p = cp::model::cryptopim_pipelined(256);
+
+  cp::Table t({"n", "NP lat (us)", "P lat (us)", "NP lat (norm)",
+               "P lat (norm)", "NP thr (/s)", "P thr (/s)", "thr gain",
+               "lat ovh", "NP en (uJ)", "P en (uJ)", "en ovh"});
+  double gain_small = 0, gain_large = 0, ovh_small = 0, ovh_large = 0;
+  double en_ovh_total = 0;
+  int n_small = 0, n_large = 0;
+  for (const std::uint32_t n : cp::ntt::paper_degrees()) {
+    const auto np = cp::model::cryptopim_non_pipelined(n);
+    const auto p = cp::model::cryptopim_pipelined(n);
+    const double gain = p.throughput_per_s / np.throughput_per_s;
+    const double ovh = p.latency_us / np.latency_us - 1.0;
+    const double en_ovh = p.energy_uj / np.energy_uj - 1.0;
+    t.add_row({std::to_string(n), cp::fmt_f(np.latency_us),
+               cp::fmt_f(p.latency_us),
+               cp::fmt_f(np.latency_us / base_np.latency_us),
+               cp::fmt_f(p.latency_us / base_p.latency_us),
+               cp::fmt_i(static_cast<std::uint64_t>(np.throughput_per_s)),
+               cp::fmt_i(static_cast<std::uint64_t>(p.throughput_per_s)),
+               cp::fmt_x(gain), cp::fmt_pct(ovh), cp::fmt_f(np.energy_uj),
+               cp::fmt_f(p.energy_uj), cp::fmt_pct(en_ovh)});
+    if (n <= 1024) {
+      gain_small += gain;
+      ovh_small += ovh;
+      ++n_small;
+    } else {
+      gain_large += gain;
+      ovh_large += ovh;
+      ++n_large;
+    }
+    en_ovh_total += en_ovh;
+  }
+  t.print(std::cout);
+
+  cp::Table c({"claim", "paper", "this model"});
+  c.add_row({"throughput gain, n<=1024",
+             cp::fmt_x(cp::model::paper::kThroughputGainSmallN),
+             cp::fmt_x(gain_small / n_small)});
+  c.add_row({"throughput gain, n>1024",
+             cp::fmt_x(cp::model::paper::kThroughputGainLargeN),
+             cp::fmt_x(gain_large / n_large)});
+  c.add_row({"latency overhead, n<=1024",
+             cp::fmt_pct(cp::model::paper::kLatencyOverheadSmallN),
+             cp::fmt_pct(ovh_small / n_small)});
+  c.add_row({"latency overhead, n>1024",
+             cp::fmt_pct(cp::model::paper::kLatencyOverheadLargeN),
+             cp::fmt_pct(ovh_large / n_large)});
+  c.add_row({"pipeline energy overhead (avg)",
+             cp::fmt_pct(cp::model::paper::kPipelineEnergyOverhead),
+             cp::fmt_pct(en_ovh_total / 8)});
+  std::cout << '\n';
+  c.print(std::cout);
+
+  std::cout << "\nPipelined throughput is flat within a bit-width class\n"
+               "(stage latency depends on N, not n); latency grows with the\n"
+               "stage count 4*log2(n)+6; energy grows with n and jumps at\n"
+               "the 16->32-bit transition (n=2k), all as in the paper.\n";
+  return 0;
+}

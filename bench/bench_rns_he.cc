@@ -1,0 +1,115 @@
+// Extension bench: RNS-decomposed HE-scale multiplication on CryptoPIM.
+//
+// Real HE deployments (SEAL, which the paper cites for its n >= 2k
+// parameters) use ciphertext moduli of hundreds of bits, decomposed into
+// word-sized NTT primes. Each limb is exactly one CryptoPIM-sized job, and
+// the limbs are independent — ideal for the superbank partitioning. This
+// bench measures (functionally, per-limb on the host NTT) and models (on
+// the chip scheduler) RNS multiplications across basis sizes, and
+// validates one configuration against the wide schoolbook oracle.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "model/scheduler.h"
+#include "ntt/rns.h"
+
+namespace cp = cryptopim;
+using cp::ntt::U128;
+
+int main() {
+  std::cout << "== RNS-decomposed HE multiplication on CryptoPIM ==\n\n";
+
+  constexpr std::uint32_t kDegree = 4096;
+  cp::Table t({"limbs", "log2(Q)", "host time (us)", "chip time (us)",
+               "chip util", "RNS mults/s (chip)"});
+  const cp::model::ChipScheduler sched;
+  for (const std::size_t limbs : {1u, 2u, 4u, 6u}) {
+    const auto basis = cp::ntt::RnsBasis::generate(kDegree, limbs, 20);
+    double log2q = 0;
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      log2q += std::log2(static_cast<double>(basis.prime(i)));
+    }
+
+    // Functional multiply on the host engines (one NTT per limb).
+    cp::Xoshiro256 rng(limbs);
+    std::vector<U128> a(kDegree), b(kDegree);
+    for (auto& x : a) x = rng.next() % basis.modulus();
+    for (auto& x : b) x = rng.next() % basis.modulus();
+    const auto ra = basis.decompose(a);
+    const auto rb = basis.decompose(b);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto prod = basis.multiply(ra, rb);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)prod;
+    const double host_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    // Chip model: `limbs` independent degree-4096 multiplications.
+    const std::vector<cp::model::Job> jobs = {
+        {kDegree, static_cast<std::uint64_t>(limbs)}};
+    const auto res = sched.schedule(jobs);
+
+    t.add_row({std::to_string(limbs), cp::fmt_f(log2q, 1),
+               cp::fmt_f(host_us), cp::fmt_f(res.makespan_us),
+               cp::fmt_f(res.utilization * 100, 1) + "%",
+               cp::fmt_i(static_cast<std::uint64_t>(1e6 / res.makespan_us))});
+  }
+  t.print(std::cout);
+  std::cout << "\nWith 8 superbanks at n=4096, up to 8 limbs multiply\n"
+               "concurrently: the chip-side cost of widening Q is one beat\n"
+               "per extra limb, not one full traversal.\n\n";
+
+  // Correctness spot check against the wide oracle (small degree).
+  {
+    const auto basis = cp::ntt::RnsBasis::generate(64, 4, 20);
+    cp::Xoshiro256 rng(99);
+    std::vector<U128> a(64), b(64);
+    for (auto& x : a) x = rng.next() % basis.modulus();
+    for (auto& x : b) x = rng.next() % basis.modulus();
+    const auto got = basis.reconstruct(
+        basis.multiply(basis.decompose(a), basis.decompose(b)));
+    // Schoolbook mod Q.
+    std::vector<U128> want(64, 0);
+    for (std::size_t i = 0; i < 64; ++i) {
+      for (std::size_t j = 0; j < 64; ++j) {
+        const U128 prod = cp::ntt::mulmod_u128(a[i], b[j], basis.modulus());
+        const std::size_t k = i + j;
+        if (k < 64) {
+          want[k] = (want[k] + prod) % basis.modulus();
+        } else {
+          want[k - 64] = (want[k - 64] + basis.modulus() - prod) %
+                         basis.modulus();
+        }
+      }
+    }
+    std::cout << "CRT correctness check (n=64, 4 limbs, "
+              << cp::fmt_f(std::log2(static_cast<double>(basis.modulus())), 1)
+              << "-bit Q): " << (got == want ? "exact" : "MISMATCH") << "\n";
+    if (got != want) return 1;
+  }
+
+  // Mixed workload through the scheduler: a protocol day in the life.
+  std::cout << "\n-- mixed workload on one chip (scheduler) --\n";
+  const std::vector<cp::model::Job> mixed = {
+      {256, 100000},   // Kyber-style key exchanges
+      {1024, 20000},   // NewHope-style sessions
+      {4096, 4000},    // 4-limb RNS HE multiplications
+      {32768, 200},    // deep HE circuit
+  };
+  const auto res = sched.schedule(mixed);
+  cp::Table m({"degree", "mults", "superbanks", "batch time (us)"});
+  for (const auto& b : res.batches) {
+    m.add_row({std::to_string(b.degree), cp::fmt_i(b.multiplications),
+               std::to_string(b.superbanks), cp::fmt_f(b.duration_us)});
+  }
+  m.print(std::cout);
+  std::cout << "makespan " << cp::fmt_f(res.makespan_us / 1000, 2)
+            << " ms, utilization " << cp::fmt_f(res.utilization * 100, 1) + "%"
+            << ", aggregate "
+            << cp::fmt_i(static_cast<std::uint64_t>(res.throughput_per_s))
+            << " multiplications/s\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates Table I: execution time (cycles) of the in-memory modulo
+// operations, for each modulus the paper targets.
+//
+// "paper" columns are the published Table I entries (lazy reductions; the
+// Barrett entry for q=7681 is back-derived from the Fig. 4(a) stage
+// latency). "measured" columns count the cycles of our reconstructed
+// width-trimmed gate micro-code (src/pim/circuits/reduction.*) on the same
+// input domains: Barrett after an addition (a < 2q), Montgomery after a
+// butterfly multiplication. "canonical" adds the conditional subtract that
+// maps the lazy result into [0, q).
+#include <iostream>
+
+#include "common/bitutil.h"
+#include "common/table.h"
+#include "model/paper_constants.h"
+#include "ntt/reduction.h"
+#include "pim/circuits/reduction.h"
+
+namespace cp = cryptopim;
+using cp::pim::BlockExecutor;
+using cp::pim::MemoryBlock;
+using cp::pim::Operand;
+using cp::pim::RowMask;
+
+namespace {
+
+struct Measured {
+  std::uint64_t lazy = 0;
+  std::uint64_t canonical = 0;
+};
+
+template <typename Fn>
+Measured measure(unsigned width, Fn&& reduce) {
+  Measured m;
+  for (const bool canonical : {false, true}) {
+    MemoryBlock blk;
+    BlockExecutor exec(blk, RowMask::all());
+    const Operand a = exec.alloc(width);
+    exec.reset_stats();
+    reduce(exec, a, canonical);
+    (canonical ? m.canonical : m.lazy) = exec.stats().cycles;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table I: execution time (cycles) for modulo operation ==\n"
+            << "Row-parallel over 512 rows; shifts are free column\n"
+            << "re-addressing; adds/subs are width-trimmed.\n\n";
+
+  cp::Table t({"q", "reduction", "paper (cycles)", "measured (lazy)",
+               "measured (canonical)", "measured/paper"});
+  for (const auto& row : cp::model::paper::table1_rows()) {
+    const std::uint32_t q = row.q;
+    {
+      const auto spec = cp::ntt::BarrettShiftAdd::paper_spec(q);
+      const unsigned w = cp::bit_length(2ull * q - 1);
+      const auto m = measure(w, [&spec](BlockExecutor& e, const Operand& a,
+                                        bool canonical) {
+        (void)cp::pim::circuits::barrett_reduce(e, a, spec, canonical);
+      });
+      const std::string paper =
+          std::to_string(row.barrett) + (row.barrett_derived ? "*" : "");
+      t.add_row({std::to_string(q), "Barrett", paper, cp::fmt_i(m.lazy),
+                 cp::fmt_i(m.canonical),
+                 cp::fmt_x(static_cast<double>(m.lazy) / row.barrett, 2)});
+    }
+    {
+      const auto spec = cp::ntt::MontgomeryShiftAdd::paper_spec(q);
+      const unsigned w = cp::bit_length(2ull * q - 1) + cp::bit_length(q - 1);
+      const auto m = measure(w, [&spec](BlockExecutor& e, const Operand& a,
+                                        bool canonical) {
+        (void)cp::pim::circuits::montgomery_reduce(e, a, spec, canonical);
+      });
+      t.add_row({std::to_string(q), "Montgomery", std::to_string(row.montgomery),
+                 cp::fmt_i(m.lazy), cp::fmt_i(m.canonical),
+                 cp::fmt_x(static_cast<double>(m.lazy) / row.montgomery, 2)});
+    }
+    t.add_separator();
+  }
+  t.print(std::cout);
+  std::cout << "\n(*) derived from the Fig. 4(a) stage latency; the printed\n"
+               "Table I entry is not legible in the paper.\n"
+               "Our trimmed micro-code exploits narrow quotients harder than\n"
+               "the paper's counts (notably Barrett @ 786433, where the\n"
+               "quotient is a single bit for post-addition inputs); the\n"
+               "Montgomery row tracks the paper within ~25%.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Regenerates Table II: latency, energy and throughput of the pipelined
+// CryptoPIM against the CPU (X86/gem5) and FPGA [19] implementations, for
+// all eight degrees, plus the paper's headline ratios.
+//
+// Columns: "paper" = published Table II; "model" = our architecture model
+// (calibrated only on the n=256 energy); "host CPU" = this machine's
+// wall-clock for our software NTT multiplier (the gem5 CPU substitute —
+// absolute values differ from the paper's 2 GHz gem5 core, shape holds).
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "model/paper_constants.h"
+#include "model/performance.h"
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+namespace cp = cryptopim;
+namespace paper = cp::model::paper;
+
+namespace {
+
+double host_cpu_latency_us(std::uint32_t n) {
+  const auto p = cp::ntt::NttParams::for_degree(n);
+  const cp::ntt::GsNttEngine eng(p);
+  cp::Xoshiro256 rng(n);
+  const auto a = cp::ntt::sample_uniform(n, p.q, rng);
+  const auto b = cp::ntt::sample_uniform(n, p.q, rng);
+  // Warm up, then time enough iterations for a stable reading.
+  volatile std::uint32_t sink = eng.negacyclic_multiply(a, b)[0];
+  const int iters = n <= 1024 ? 50 : (n <= 8192 ? 10 : 3);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    sink = eng.negacyclic_multiply(a, b)[0];
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Table II: CryptoPIM vs FPGA [19] and CPU ==\n\n";
+
+  cp::Table t({"design", "n", "bits", "latency (us)", "energy (uJ)",
+               "throughput (/s)"});
+  for (const auto& r : paper::cpu_rows()) {
+    t.add_row({"X86 gem5 (paper)", std::to_string(r.n),
+               std::to_string(r.bitwidth), cp::fmt_f(r.latency_us),
+               cp::fmt_f(r.energy_uj),
+               cp::fmt_i(static_cast<std::uint64_t>(r.throughput_per_s))});
+  }
+  t.add_separator();
+  for (const std::uint32_t n : cp::ntt::paper_degrees()) {
+    const double us = host_cpu_latency_us(n);
+    t.add_row({"X86 host (measured)", std::to_string(n),
+               std::to_string(cp::ntt::paper_bitwidth_for_degree(n)),
+               cp::fmt_f(us), "-",
+               cp::fmt_i(static_cast<std::uint64_t>(1e6 / us))});
+  }
+  t.add_separator();
+  for (const auto& r : paper::fpga_rows()) {
+    t.add_row({"FPGA [19] (paper)", std::to_string(r.n),
+               std::to_string(r.bitwidth), cp::fmt_f(r.latency_us),
+               cp::fmt_f(r.energy_uj),
+               cp::fmt_i(static_cast<std::uint64_t>(r.throughput_per_s))});
+  }
+  t.add_separator();
+  for (const std::uint32_t n : cp::ntt::paper_degrees()) {
+    const auto m = cp::model::cryptopim_pipelined(n);
+    const auto ref = *paper::row_for(paper::cryptopim_rows(), n);
+    t.add_row({"CryptoPIM-P (model)", std::to_string(n),
+               std::to_string(cp::ntt::paper_bitwidth_for_degree(n)),
+               cp::fmt_f(m.latency_us) + " (" + cp::fmt_f(ref.latency_us) + ")",
+               cp::fmt_f(m.energy_uj) + " (" + cp::fmt_f(ref.energy_uj) + ")",
+               cp::fmt_i(static_cast<std::uint64_t>(m.throughput_per_s)) +
+                   " (" +
+                   cp::fmt_i(static_cast<std::uint64_t>(ref.throughput_per_s)) +
+                   ")"});
+  }
+  t.print(std::cout);
+  std::cout << "CryptoPIM rows show model (paper) side by side.\n\n";
+
+  // Headline claims, aggregated the way the paper aggregates them:
+  //  * FPGA comparisons and the CPU throughput/energy factors average
+  //    over the degrees with an FPGA datapoint (n <= 1024);
+  //  * "performance reduction" averages performance (1/latency) ratios,
+  //    not latency ratios;
+  //  * the CPU performance factor averages over all eight degrees.
+  double thr_fpga = 0, perf_fpga = 0, en_fpga = 0;
+  for (const auto& f : paper::fpga_rows()) {
+    const auto m = cp::model::cryptopim_pipelined(f.n);
+    thr_fpga += m.throughput_per_s / f.throughput_per_s;
+    perf_fpga += f.latency_us / m.latency_us;  // performance ratio
+    en_fpga += m.energy_uj / f.energy_uj;
+  }
+  double perf_cpu = 0, thr_cpu_small = 0, en_cpu_small = 0;
+  for (const auto& c : paper::cpu_rows()) {
+    const auto m = cp::model::cryptopim_pipelined(c.n);
+    perf_cpu += c.latency_us / m.latency_us;
+    if (c.n <= 1024) {
+      thr_cpu_small += m.throughput_per_s / c.throughput_per_s;
+      en_cpu_small += c.energy_uj / m.energy_uj;
+    }
+  }
+
+  cp::Table c({"claim", "paper", "this model"});
+  c.add_row({"throughput vs FPGA (n<=1k)", cp::fmt_x(paper::kThroughputVsFpga),
+             cp::fmt_x(thr_fpga / 3)});
+  c.add_row({"performance reduction vs FPGA (n<=1k)",
+             "<" + cp::fmt_pct(paper::kLatencyPenaltyVsFpga),
+             cp::fmt_pct(1.0 - perf_fpga / 3)});
+  c.add_row({"energy vs FPGA (n<=1k)", "~1.0x", cp::fmt_x(en_fpga / 3)});
+  c.add_row({"performance vs CPU (avg, all n)", cp::fmt_x(paper::kPerfVsCpu),
+             cp::fmt_x(perf_cpu / 8)});
+  c.add_row({"throughput vs CPU (n<=1k)", cp::fmt_x(paper::kThroughputVsCpu),
+             cp::fmt_x(thr_cpu_small / 3)});
+  c.add_row({"energy vs CPU (n<=1k)", cp::fmt_x(paper::kEnergyVsCpu),
+             cp::fmt_x(en_cpu_small / 3)});
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Architecture explorer: sweep the design space the paper's Section III
+// spans — pipeline variants, degrees, chip partitions, and the measured
+// (gate-level) vs published per-operation latencies.
+//
+//   $ ./examples/arch_explorer
+#include <algorithm>
+#include <iostream>
+
+#include "core/cryptopim.h"
+
+namespace cp = cryptopim;
+
+int main() {
+  std::cout << "== CryptoPIM architecture explorer ==\n\n";
+
+  // 1. Per-operation latencies: published vs measured from our circuits.
+  std::cout << "-- per-operation cycles (paper formulas vs gate-level "
+               "measurement) --\n";
+  cp::Table ops({"q", "bits", "op", "paper", "measured"});
+  for (const std::uint32_t n : {256u, 512u, 2048u}) {
+    const auto lp = cp::model::paper_latency(n);
+    const auto lm = cp::model::measured_latency(n);
+    const auto row = [&](const char* name, std::uint64_t p, std::uint64_t m) {
+      ops.add_row({std::to_string(lp.q), std::to_string(lp.bitwidth), name,
+                   cp::fmt_i(p), cp::fmt_i(m)});
+    };
+    row("add", lp.add, lm.add);
+    row("sub", lp.sub, lm.sub);
+    row("mult", lp.mult, lm.mult);
+    row("Barrett", lp.barrett, lm.barrett);
+    row("Montgomery", lp.montgomery, lm.montgomery);
+    ops.add_separator();
+  }
+  ops.print(std::cout);
+
+  // 2. Pipeline variants across degrees.
+  std::cout << "\n-- pipeline variants (depth / slowest stage / latency / "
+               "throughput) --\n";
+  cp::Table pipes({"n", "variant", "stages", "slowest (cyc)", "P lat (us)",
+                   "P thr (/s)"});
+  for (const std::uint32_t n : {256u, 1024u, 32768u}) {
+    for (const auto v : {cp::arch::PipelineVariant::kAreaEfficient,
+                         cp::arch::PipelineVariant::kNaive,
+                         cp::arch::PipelineVariant::kCryptoPim}) {
+      const auto spec = cp::arch::PipelineSpec::build(n, v);
+      const auto perf = cp::model::evaluate_pipelined(
+          spec, cp::model::paper_latency(n),
+          cp::model::EnergyModel::calibrated(),
+          cp::pim::DeviceModel::paper_45nm());
+      pipes.add_row(
+          {std::to_string(n), cp::arch::to_string(v),
+           std::to_string(perf.depth), cp::fmt_i(perf.slowest_stage_cycles),
+           cp::fmt_f(perf.latency_us),
+           cp::fmt_i(static_cast<std::uint64_t>(perf.throughput_per_s))});
+    }
+    pipes.add_separator();
+  }
+  pipes.print(std::cout);
+
+  // 3. Chip partitioning across the whole degree range.
+  std::cout << "\n-- chip partitioning (128 banks, provisioned for 32k) --\n";
+  cp::Table chipt({"n", "banks/softbank", "superbanks", "segments",
+                   "chip-level mults/s"});
+  const auto chip = cp::arch::ChipConfig::paper_chip();
+  for (const std::uint32_t n : cp::ntt::paper_degrees()) {
+    const auto plan = chip.plan_for_degree(n);
+    const auto perf = cp::model::cryptopim_pipelined(n);
+    // All superbanks stream multiplications concurrently.
+    const double chip_thr = perf.throughput_per_s * plan.superbanks;
+    chipt.add_row({std::to_string(n), std::to_string(plan.banks_per_softbank),
+                   std::to_string(plan.superbanks),
+                   std::to_string(plan.segments),
+                   cp::fmt_i(static_cast<std::uint64_t>(chip_thr))});
+  }
+  const auto plan128k = chip.plan_for_degree(131072);
+  chipt.add_row({"131072", std::to_string(plan128k.banks_per_softbank),
+                 std::to_string(plan128k.superbanks),
+                 std::to_string(plan128k.segments), "- (iterative)"});
+  chipt.print(std::cout);
+
+  std::cout << "\nThe chip keeps full utilisation across three regimes:\n"
+               "small degrees multiply many pairs in parallel (superbank\n"
+               "repartitioning), the design point uses every bank for one\n"
+               "pair, and larger inputs stream 32k segments iteratively.\n";
+  return 0;
+}

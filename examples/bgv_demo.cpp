@@ -1,0 +1,117 @@
+// Homomorphic computation on CryptoPIM: a BGV-style private AND/XOR
+// circuit evaluated on encrypted bits, with every ring multiplication
+// executed in the simulated crossbars — the "data in use" scenario the
+// paper motivates (Section I: "homomorphic encryption cryptosystems
+// defined on RLWE lattices, e.g., BGV").
+//
+// The demo computes, over encrypted 256-bit vectors held by a server:
+//   AND  = a & b        (homomorphic multiply + relinearization)
+//   XOR  = a ^ b        (homomorphic addition, t = 2)
+//   MAJ3 = maj(a,b,c)   (ab ^ bc ^ ca: three multiplies, two adds)
+// without the server ever seeing a, b or c.
+#include <iostream>
+
+#include "core/cryptopim.h"
+#include "he/bgv.h"
+
+namespace cp = cryptopim;
+
+namespace {
+
+cp::ntt::Poly random_bits(std::uint32_t n, cp::Xoshiro256& rng) {
+  cp::ntt::Poly m(n);
+  for (auto& c : m) c = static_cast<std::uint32_t>(rng.next_below(2));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const auto params = cp::he::BgvParams::paper_small();
+  cp::he::BgvContext ctx(params, 777);
+  std::cout << "BGV on CryptoPIM: n=" << params.n << ", q=" << params.q
+            << ", t=" << params.t << ", relin base " << params.relin_base
+            << "\n\n";
+
+  // Route every ring multiplication through the simulated accelerator.
+  cp::sim::CryptoPimSimulator simu(ctx.ring());
+  std::uint64_t pim_cycles = 0;
+  double pim_energy = 0;
+  ctx.set_multiplier([&](const cp::ntt::Poly& x, const cp::ntt::Poly& y) {
+    auto r = simu.multiply(x, y);
+    pim_cycles += simu.report().wall_cycles;
+    pim_energy += simu.report().energy_uj;
+    return r;
+  });
+
+  ctx.keygen();
+  std::cout << "keygen: secret key + "
+            << "relinearization key (base-" << params.relin_base
+            << " digits of q)\n";
+
+  cp::Xoshiro256 rng(123);
+  const auto a = random_bits(params.n, rng);
+  const auto b = random_bits(params.n, rng);
+  const auto c = random_bits(params.n, rng);
+  auto ca = ctx.encrypt(a);
+  auto cb = ctx.encrypt(b);
+  auto cc = ctx.encrypt(c);
+  std::cout << "client: encrypted three 256-bit vectors ("
+            << cp::fmt_f(ctx.noise_budget_bits(ca), 1)
+            << " bits of noise budget each)\n\n";
+
+  // Server-side computation on ciphertexts only. With t = 2, coefficient 0
+  // of the plaintext product of constant polynomials is the AND of the
+  // constant terms; we use full coefficient vectors and verify slot-wise
+  // XOR plus coefficient-wise expected values from the plaintexts.
+  std::cout << "server: evaluating AND / XOR / MAJ3 homomorphically...\n";
+  const auto c_xor = ctx.add(ca, cb);
+  const auto c_and = ctx.relinearize(ctx.multiply(ca, cb));
+  // maj(a,b,c) = ab + bc + ca over GF(2).
+  const auto c_maj = ctx.add(
+      ctx.add(c_and, ctx.relinearize(ctx.multiply(cb, cc))),
+      ctx.relinearize(ctx.multiply(cc, ca)));
+
+  // Client decrypts and verifies.
+  const auto xor_out = ctx.decrypt(c_xor);
+  bool xor_ok = true;
+  for (std::size_t i = 0; i < params.n; ++i) {
+    xor_ok &= xor_out[i] == ((a[i] + b[i]) % 2);
+  }
+
+  // The multiplicative results are negacyclic products over GF(2); verify
+  // against the software oracle.
+  const auto and_want = [&] {
+    auto w = cp::ntt::schoolbook_negacyclic(a, b, params.q);
+    cp::ntt::Poly out(params.n);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      out[i] = static_cast<std::uint32_t>(
+          ((cp::ntt::centered(w[i], params.q) % 2) + 2) % 2);
+    }
+    return out;
+  }();
+  const bool and_ok = ctx.decrypt(c_and) == and_want;
+
+  std::cout << "  XOR  (add):          " << (xor_ok ? "correct" : "WRONG")
+            << "\n  AND  (mul + relin):  " << (and_ok ? "correct" : "WRONG")
+            << "\n  MAJ3 (3 mul, 2 add): noise budget "
+            << cp::fmt_f(ctx.noise_budget_bits(c_maj), 1) << " bits ("
+            << (ctx.noise_budget_bits(c_maj) > 0 ? "decryptable"
+                                                 : "EXHAUSTED")
+            << ")\n\n";
+
+  std::cout << "accelerator accounting:\n"
+            << "  ring multiplications: " << ctx.multiplications() << "\n"
+            << "  simulated cycles:     " << cp::fmt_i(pim_cycles) << " ("
+            << cp::fmt_f(pim_cycles * 1.1e-3) << " us)\n"
+            << "  simulated energy:     " << cp::fmt_f(pim_energy)
+            << " uJ\n";
+  const auto perf = cp::model::cryptopim_pipelined(params.n);
+  std::cout << "  pipelined hardware:   "
+            << cp::fmt_i(static_cast<std::uint64_t>(perf.throughput_per_s))
+            << " ring muls/s/superbank => "
+            << cp::fmt_i(static_cast<std::uint64_t>(
+                   perf.throughput_per_s / 5))
+            << " relinearized HE multiplies/s\n";
+  return (xor_ok && and_ok) ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "arch/chip.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace cryptopim::arch {
+
+unsigned ChipConfig::bank_blocks_for_degree(std::uint32_t n) {
+  assert(is_pow2(n) && n >= 4);
+  return 3 * ilog2(n) + 4;
+}
+
+DegreePlan ChipConfig::plan_for_degree(std::uint32_t n) const {
+  if (!is_pow2(n) || n < 4) {
+    throw std::invalid_argument("degree must be a power of two >= 4");
+  }
+  DegreePlan plan;
+  plan.n = n;
+  if (n <= design_max_n) {
+    plan.banks_per_softbank =
+        n <= kElementsPerBank ? 1u : n / kElementsPerBank;
+    plan.banks_per_superbank = 2 * plan.banks_per_softbank;
+    plan.superbanks = total_banks / plan.banks_per_superbank;
+    plan.segments = 1;
+  } else {
+    // Inputs above the design point are cut into 32k segments and fed
+    // through the hardware iteratively (Section III-D.2).
+    plan.banks_per_softbank = design_max_n / kElementsPerBank;
+    plan.banks_per_superbank = 2 * plan.banks_per_softbank;
+    plan.superbanks = total_banks / plan.banks_per_superbank;
+    plan.segments = n / design_max_n;
+  }
+  assert(plan.superbanks >= 1);
+  return plan;
+}
+
+}  // namespace cryptopim::arch

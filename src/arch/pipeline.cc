@@ -1,0 +1,107 @@
+#include "arch/pipeline.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+#include "ntt/params.h"
+
+namespace cryptopim::arch {
+
+const char* to_string(PipelineVariant v) {
+  switch (v) {
+    case PipelineVariant::kAreaEfficient: return "area-efficient";
+    case PipelineVariant::kNaive: return "naive";
+    case PipelineVariant::kCryptoPim: return "cryptopim";
+  }
+  return "?";
+}
+
+namespace {
+
+using Ops = std::vector<StageOp>;
+
+void emit(PipelineSpec& spec, StagePhase phase, std::string name, Ops ops) {
+  spec.stages.push_back(StageSpec{std::move(name), phase, std::move(ops)});
+}
+
+// A coefficient-multiply phase (psi-scale, point-wise, psi^{-1}-scale):
+// one multiplication followed by one Montgomery reduction.
+void emit_scale(PipelineSpec& spec, PipelineVariant v, StagePhase phase,
+                const std::string& label) {
+  switch (v) {
+    case PipelineVariant::kAreaEfficient:
+      emit(spec, phase, label,
+           {StageOp::kTransferIn, StageOp::kMult, StageOp::kMontgomery});
+      break;
+    case PipelineVariant::kNaive:
+    case PipelineVariant::kCryptoPim:
+      emit(spec, phase, label + "/mult", {StageOp::kTransferIn, StageOp::kMult});
+      emit(spec, phase, label + "/mont",
+           {StageOp::kTransferIn, StageOp::kMontgomery});
+      break;
+  }
+}
+
+// One butterfly level of the (forward or inverse) NTT.
+void emit_level(PipelineSpec& spec, PipelineVariant v, StagePhase phase,
+                const std::string& label) {
+  switch (v) {
+    case PipelineVariant::kAreaEfficient:
+      // Whole butterfly + both reductions fused into one block.
+      emit(spec, phase, label,
+           {StageOp::kTransferIn, StageOp::kAdd, StageOp::kBarrett,
+            StageOp::kSub, StageOp::kMult, StageOp::kMontgomery});
+      break;
+    case PipelineVariant::kNaive:
+      // Every computation and every modulo in its own block (Fig. 4b).
+      emit(spec, phase, label + "/add", {StageOp::kTransferIn, StageOp::kAdd});
+      emit(spec, phase, label + "/barrett",
+           {StageOp::kTransferIn, StageOp::kBarrett});
+      emit(spec, phase, label + "/sub", {StageOp::kTransferIn, StageOp::kSub});
+      emit(spec, phase, label + "/mult", {StageOp::kTransferIn, StageOp::kMult});
+      emit(spec, phase, label + "/mont",
+           {StageOp::kTransferIn, StageOp::kMontgomery});
+      break;
+    case PipelineVariant::kCryptoPim:
+      // Fig. 4c: [sub+mult] then [Montgomery + add + Barrett] — the
+      // reductions of one element ride with the addition of the other,
+      // balancing the two blocks.
+      emit(spec, phase, label + "/sub-mult",
+           {StageOp::kTransferIn, StageOp::kSub, StageOp::kMult});
+      emit(spec, phase, label + "/mont-add-barrett",
+           {StageOp::kTransferIn, StageOp::kMontgomery, StageOp::kAdd,
+            StageOp::kBarrett});
+      break;
+  }
+}
+
+}  // namespace
+
+PipelineSpec PipelineSpec::build(std::uint32_t n, PipelineVariant variant) {
+  assert(is_pow2(n) && n >= 4);
+  PipelineSpec spec;
+  spec.n = n;
+  spec.bitwidth = ntt::paper_bitwidth_for_degree(n);
+  spec.q = ntt::paper_modulus_for_degree(n);
+  spec.variant = variant;
+
+  const unsigned levels = ilog2(n);
+  emit_scale(spec, variant, StagePhase::kPsiScale, "psi");
+  for (unsigned i = 0; i < levels; ++i) {
+    emit_level(spec, variant, StagePhase::kForwardNtt,
+               "fwd" + std::to_string(i));
+  }
+  emit_scale(spec, variant, StagePhase::kPointwise, "pointwise");
+  for (unsigned i = 0; i < levels; ++i) {
+    emit_level(spec, variant, StagePhase::kInverseNtt,
+               "inv" + std::to_string(i));
+  }
+  emit_scale(spec, variant, StagePhase::kPsiInvScale, "psi-inv");
+
+  if (variant == PipelineVariant::kCryptoPim) {
+    assert(spec.stages.size() == cryptopim_depth(levels));
+  }
+  return spec;
+}
+
+}  // namespace cryptopim::arch

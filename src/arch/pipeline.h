@@ -1,0 +1,77 @@
+// Pipeline construction for the three arrangements of Fig. 4.
+//
+// The NTT-based polynomial multiplier (Algorithm 1) is a linear chain:
+//   psi-scale -> log2(n) forward butterfly levels -> point-wise multiply
+//   -> log2(n) inverse butterfly levels -> psi^{-1}-scale
+// Each butterfly level computes, per element pair:
+//   A[j]  = Barrett(T + A[j'])
+//   A[j'] = Montgomery(W * (T - A[j']))
+// A pipeline variant decides how these primitive operations are grouped
+// into memory blocks (= pipeline stages):
+//   (a) kAreaEfficient — a whole butterfly (compute + both reductions)
+//       per block: fewest blocks, slowest stage (paper: 2700 cycles at
+//       n=256 / 16-bit).
+//   (b) kNaive        — every primitive in its own block (paper: 1756).
+//   (c) kCryptoPim    — [sub + mult] and [Montgomery + add + Barrett]
+//       blocks: the balanced grouping (paper: 1643).
+// Every stage starts with a fixed-function-switch transfer from the
+// previous block (3 * bitwidth cycles for the three routes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cryptopim::arch {
+
+enum class PipelineVariant { kAreaEfficient, kNaive, kCryptoPim };
+
+const char* to_string(PipelineVariant v);
+
+/// Primitive operations a stage performs (latency comes from a
+/// model::LatencySet, keeping structure and timing separate).
+enum class StageOp : std::uint8_t {
+  kTransferIn,   ///< fixed-function switch hop from the previous block
+  kAdd,          ///< T + A[j']
+  kSub,          ///< T - A[j']
+  kMult,         ///< W * (...), or point-wise/psi coefficient multiply
+  kBarrett,      ///< reduction after addition
+  kMontgomery,   ///< reduction after multiplication
+};
+
+/// Phase of the multiplier a stage belongs to (for reporting).
+enum class StagePhase : std::uint8_t {
+  kPsiScale,
+  kForwardNtt,
+  kPointwise,
+  kInverseNtt,
+  kPsiInvScale,
+};
+
+struct StageSpec {
+  std::string name;
+  StagePhase phase;
+  std::vector<StageOp> ops;
+};
+
+/// A full multiplier pipeline for one degree and variant.
+struct PipelineSpec {
+  std::uint32_t n = 0;
+  unsigned bitwidth = 0;
+  std::uint32_t q = 0;
+  PipelineVariant variant = PipelineVariant::kCryptoPim;
+  std::vector<StageSpec> stages;
+
+  static PipelineSpec build(std::uint32_t n, PipelineVariant variant);
+
+  std::size_t depth() const noexcept { return stages.size(); }
+};
+
+/// Expected CryptoPIM pipeline depth: 2 stages per butterfly level
+/// (forward + inverse) plus 2 each for psi-scale, point-wise multiply and
+/// psi^{-1}-scale. Reproduces Table II: 38/42/46 stages for 256/512/1024.
+constexpr std::size_t cryptopim_depth(unsigned log2n) {
+  return 4ull * log2n + 6;
+}
+
+}  // namespace cryptopim::arch

@@ -1,0 +1,103 @@
+#include "baselines/pim_baselines.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ntt/params.h"
+#include "ntt/reduction.h"
+#include "pim/circuits/arith.h"
+#include "pim/device.h"
+
+namespace cryptopim::baselines {
+
+const char* to_string(PimBaseline b) {
+  switch (b) {
+    case PimBaseline::kBp1: return "BP-1";
+    case PimBaseline::kBp2: return "BP-2";
+    case PimBaseline::kBp3: return "BP-3";
+    case PimBaseline::kCryptoPim: return "CryptoPIM";
+  }
+  return "?";
+}
+
+std::uint64_t mult_cycles_rect_cryptopim(unsigned w, unsigned v) {
+  const std::uint64_t m = std::max(w, v);
+  return (13ull * w * v - 23ull * m + 6) / 2;  // 6.5WV - 11.5max + 3
+}
+
+std::uint64_t mult_cycles_rect_hajali(unsigned w, unsigned v) {
+  const std::uint64_t m = std::max(w, v);
+  return 13ull * w * v - 14ull * m + 6;
+}
+
+namespace {
+
+using MultFn = std::uint64_t (*)(unsigned, unsigned);
+
+// Multiplication-based Barrett reduction of a 2N-bit value:
+// u = (a * m) >> k (2N x N multiply), u * q (N x N multiply), a - u*q.
+std::uint64_t reduction_by_multiplication(unsigned n_bits, MultFn mult) {
+  return mult(2 * n_bits, n_bits) + mult(n_bits, n_bits) +
+         pim::circuits::sub_cycles(2 * n_bits);
+}
+
+// Untrimmed shift-add chains: every combining step is a full-width
+// (2N-bit) add/sub; term counts come from the actual constants.
+std::uint64_t barrett_shift_add_untrimmed(std::uint32_t q, unsigned n_bits) {
+  const auto spec = ntt::BarrettShiftAdd::paper_spec(q);
+  const std::uint64_t combine = pim::circuits::add_cycles(2 * n_bits);
+  const std::uint64_t quotient_steps = spec.quotient_terms().size() - 1;
+  const std::uint64_t uq_steps = spec.q_terms().size() - 1;
+  return (quotient_steps + uq_steps) * combine +
+         pim::circuits::sub_cycles(2 * n_bits);
+}
+
+std::uint64_t montgomery_shift_add_untrimmed(std::uint32_t q,
+                                             unsigned n_bits) {
+  const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+  const std::uint64_t combine = pim::circuits::add_cycles(2 * n_bits);
+  const std::uint64_t m_steps = spec.qprime_terms().size() - 1;
+  const std::uint64_t mq_steps = spec.q_terms().size() - 1;
+  return (m_steps + mq_steps) * combine + combine;  // + final (a + mq)
+}
+
+}  // namespace
+
+model::LatencySet baseline_latency(PimBaseline b, std::uint32_t n) {
+  if (b == PimBaseline::kCryptoPim) return model::paper_latency(n);
+
+  model::LatencySet s;
+  s.n = n;
+  s.q = ntt::paper_modulus_for_degree(n);
+  s.bitwidth = ntt::paper_bitwidth_for_degree(n);
+  s.add = pim::circuits::add_cycles(s.bitwidth);
+  s.sub = pim::circuits::sub_cycles(s.bitwidth);
+  s.transfer = 3ull * s.bitwidth;
+
+  const MultFn mult = b == PimBaseline::kBp1 ? mult_cycles_rect_hajali
+                                             : mult_cycles_rect_cryptopim;
+  s.mult = mult(s.bitwidth, s.bitwidth);
+
+  switch (b) {
+    case PimBaseline::kBp1:
+    case PimBaseline::kBp2:
+      s.barrett = reduction_by_multiplication(s.bitwidth, mult);
+      s.montgomery = s.barrett;  // same multiplication-based routine
+      break;
+    case PimBaseline::kBp3:
+      s.barrett = barrett_shift_add_untrimmed(s.q, s.bitwidth);
+      s.montgomery = montgomery_shift_add_untrimmed(s.q, s.bitwidth);
+      break;
+    case PimBaseline::kCryptoPim:
+      break;  // handled above
+  }
+  return s;
+}
+
+model::PipelinePerf evaluate_baseline(PimBaseline b, std::uint32_t n) {
+  return model::evaluate_non_pipelined(n, baseline_latency(b, n),
+                                       model::EnergyModel::calibrated(),
+                                       pim::DeviceModel::paper_45nm());
+}
+
+}  // namespace cryptopim::baselines

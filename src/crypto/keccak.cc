@@ -1,0 +1,156 @@
+#include "crypto/keccak.h"
+
+#include <cassert>
+
+namespace cryptopim::crypto {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned k) {
+  return k == 0 ? x : (x << k) | (x >> (64 - k));
+}
+
+// Round constants from the degree-8 LFSR x^8+x^6+x^5+x^4+1 (FIPS 202
+// Algorithm 5): RC[i] has bit 2^j - 1 set to rc(7i + j).
+constexpr std::array<std::uint64_t, 24> make_round_constants() {
+  std::array<std::uint64_t, 24> rc{};
+  std::uint8_t lfsr = 1;
+  for (unsigned round = 0; round < 24; ++round) {
+    std::uint64_t c = 0;
+    for (unsigned j = 0; j <= 6; ++j) {
+      // rc(t): bit 0 of the LFSR state at step t = 7*round + j.
+      const bool bit = lfsr & 1u;
+      if (bit) c |= std::uint64_t{1} << ((1u << j) - 1);
+      const bool high = lfsr & 0x80u;
+      lfsr = static_cast<std::uint8_t>(lfsr << 1);
+      if (high) lfsr ^= 0x71u;  // x^8 = x^6 + x^5 + x^4 + 1
+    }
+    rc[round] = c;
+  }
+  return rc;
+}
+
+// rho rotation offsets from the (x,y) -> (y, 2x+3y) walk (FIPS 202 §3.2.2).
+constexpr std::array<unsigned, 25> make_rho_offsets() {
+  std::array<unsigned, 25> off{};
+  unsigned x = 1, y = 0;
+  for (unsigned t = 0; t < 24; ++t) {
+    off[x + 5 * y] = ((t + 1) * (t + 2) / 2) % 64;
+    const unsigned nx = y;
+    const unsigned ny = (2 * x + 3 * y) % 5;
+    x = nx;
+    y = ny;
+  }
+  return off;
+}
+
+constexpr auto kRc = make_round_constants();
+constexpr auto kRho = make_rho_offsets();
+
+}  // namespace
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (unsigned round = 0; round < 24; ++round) {
+    // theta
+    std::uint64_t c[5];
+    for (unsigned x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (unsigned x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (unsigned y = 0; y < 5; ++y) a[x + 5 * y] ^= d;
+    }
+    // rho + pi
+    std::array<std::uint64_t, 25> b{};
+    for (unsigned x = 0; x < 5; ++x) {
+      for (unsigned y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = rotl64(a[x + 5 * y],
+                                                  kRho[x + 5 * y]);
+      }
+    }
+    // chi
+    for (unsigned y = 0; y < 5; ++y) {
+      for (unsigned x = 0; x < 5; ++x) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // iota
+    a[0] ^= kRc[round];
+  }
+}
+
+KeccakSponge::KeccakSponge(unsigned rate_bytes, std::uint8_t domain)
+    : rate_(rate_bytes), domain_(domain) {
+  assert(rate_bytes > 0 && rate_bytes < 200 && rate_bytes % 8 == 0);
+}
+
+std::uint8_t KeccakSponge::state_byte(unsigned i) const {
+  return static_cast<std::uint8_t>(state_[i / 8] >> (8 * (i % 8)));
+}
+
+void KeccakSponge::xor_state_byte(unsigned i, std::uint8_t v) {
+  state_[i / 8] ^= static_cast<std::uint64_t>(v) << (8 * (i % 8));
+}
+
+void KeccakSponge::absorb(std::span<const std::uint8_t> data) {
+  assert(!finalized_);
+  for (const std::uint8_t byte : data) {
+    xor_state_byte(offset_++, byte);
+    if (offset_ == rate_) {
+      keccak_f1600(state_);
+      offset_ = 0;
+    }
+  }
+}
+
+void KeccakSponge::finalize() {
+  assert(!finalized_);
+  xor_state_byte(offset_, domain_);
+  xor_state_byte(rate_ - 1, 0x80);
+  keccak_f1600(state_);
+  offset_ = 0;
+  finalized_ = true;
+}
+
+void KeccakSponge::squeeze(std::span<std::uint8_t> out) {
+  assert(finalized_);
+  for (auto& byte : out) {
+    if (offset_ == rate_) {
+      keccak_f1600(state_);
+      offset_ = 0;
+    }
+    byte = state_byte(offset_++);
+  }
+}
+
+std::array<std::uint8_t, 32> sha3_256(std::span<const std::uint8_t> data) {
+  KeccakSponge sponge(136, 0x06);
+  sponge.absorb(data);
+  sponge.finalize();
+  std::array<std::uint8_t, 32> out{};
+  sponge.squeeze(out);
+  return out;
+}
+
+std::vector<std::uint8_t> shake128(std::span<const std::uint8_t> data,
+                                   std::size_t out_len) {
+  KeccakSponge sponge(168, 0x1F);
+  sponge.absorb(data);
+  sponge.finalize();
+  std::vector<std::uint8_t> out(out_len);
+  sponge.squeeze(out);
+  return out;
+}
+
+std::vector<std::uint8_t> shake256(std::span<const std::uint8_t> data,
+                                   std::size_t out_len) {
+  KeccakSponge sponge(136, 0x1F);
+  sponge.absorb(data);
+  sponge.finalize();
+  std::vector<std::uint8_t> out(out_len);
+  sponge.squeeze(out);
+  return out;
+}
+
+}  // namespace cryptopim::crypto

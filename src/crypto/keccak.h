@@ -1,0 +1,55 @@
+// Keccak-f[1600] sponge: SHA3-256 and the SHAKE128/256 XOFs.
+//
+// The KEM layer needs a real hash/XOF (seed expansion, implicit
+// rejection, deterministic encryption coins) — this is a from-scratch
+// implementation validated against the published FIPS-202 test vectors in
+// tests/test_keccak.cc. Round constants and rotation offsets are computed
+// from the LFSR/position formulas rather than embedded tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cryptopim::crypto {
+
+/// The Keccak-f[1600] permutation over the 5x5 lane state.
+void keccak_f1600(std::array<std::uint64_t, 25>& state);
+
+/// Incremental sponge with byte-oriented absorb/squeeze.
+class KeccakSponge {
+ public:
+  /// `rate_bytes`: 136 for SHA3-256/SHAKE256, 168 for SHAKE128.
+  /// `domain`: 0x06 for SHA-3, 0x1F for SHAKE.
+  KeccakSponge(unsigned rate_bytes, std::uint8_t domain);
+
+  void absorb(std::span<const std::uint8_t> data);
+  /// Finish absorbing (pad + final permutation); call once.
+  void finalize();
+  /// Squeeze output bytes (finalize() first; may be called repeatedly).
+  void squeeze(std::span<std::uint8_t> out);
+
+ private:
+  std::array<std::uint64_t, 25> state_{};
+  unsigned rate_;
+  std::uint8_t domain_;
+  unsigned offset_ = 0;  // byte position within the rate
+  bool finalized_ = false;
+
+  std::uint8_t state_byte(unsigned i) const;
+  void xor_state_byte(unsigned i, std::uint8_t v);
+};
+
+/// One-shot SHA3-256.
+std::array<std::uint8_t, 32> sha3_256(std::span<const std::uint8_t> data);
+
+/// One-shot SHAKE128 with arbitrary output length.
+std::vector<std::uint8_t> shake128(std::span<const std::uint8_t> data,
+                                   std::size_t out_len);
+
+/// One-shot SHAKE256.
+std::vector<std::uint8_t> shake256(std::span<const std::uint8_t> data,
+                                   std::size_t out_len);
+
+}  // namespace cryptopim::crypto

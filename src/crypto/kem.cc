@@ -1,0 +1,80 @@
+#include "crypto/kem.h"
+
+#include "crypto/keccak.h"
+
+namespace cryptopim::crypto {
+
+namespace {
+
+// G(m || H(pk)) -> (Kbar, coins)
+void derive(const Message& m, const std::array<std::uint8_t, 32>& pk_hash,
+            Seed& kbar, Seed& coins) {
+  KeccakSponge g(136, 0x1F);  // SHAKE256
+  g.absorb(m);
+  g.absorb(pk_hash);
+  g.finalize();
+  g.squeeze(kbar);
+  g.squeeze(coins);
+}
+
+SharedKey kdf(const Seed& kbar, const std::array<std::uint8_t, 32>& ct_hash) {
+  KeccakSponge k(136, 0x1F);
+  k.absorb(kbar);
+  k.absorb(ct_hash);
+  k.finalize();
+  SharedKey out{};
+  k.squeeze(out);
+  return out;
+}
+
+}  // namespace
+
+std::pair<KemPublicKey, KemSecretKey> KemScheme::keygen(
+    const Seed& seed) const {
+  // Independent sub-seeds for the PKE keys and the rejection secret.
+  const auto expanded = shake256(seed, 64);
+  Seed pke_seed{};
+  std::copy_n(expanded.begin(), 32, pke_seed.begin());
+
+  auto [pk, sk] = pke_.keygen(pke_seed);
+  KemSecretKey ksk;
+  ksk.pke = std::move(sk);
+  ksk.pk_copy = pk;
+  std::copy_n(expanded.begin() + 32, 32, ksk.z.begin());
+  return {KemPublicKey{std::move(pk)}, std::move(ksk)};
+}
+
+std::pair<PkeCiphertext, SharedKey> KemScheme::encapsulate(
+    const KemPublicKey& pk, const Seed& entropy) const {
+  // Hash the entropy into the ephemeral message (hedges weak randomness).
+  Message m{};
+  const auto m_bytes = sha3_256(entropy);
+  std::copy(m_bytes.begin(), m_bytes.end(), m.begin());
+
+  const auto pk_hash = sha3_256(pke_.encode(pk.pke));
+  Seed kbar{}, coins{};
+  derive(m, pk_hash, kbar, coins);
+
+  PkeCiphertext ct = pke_.encrypt(pk.pke, m, coins);
+  const auto ct_hash = sha3_256(pke_.encode(ct));
+  return {std::move(ct), kdf(kbar, ct_hash)};
+}
+
+SharedKey KemScheme::decapsulate(const KemSecretKey& sk,
+                                 const PkeCiphertext& ct) const {
+  const Message m = pke_.decrypt(sk.pke, ct);
+  const auto pk_hash = sha3_256(pke_.encode(sk.pk_copy));
+  Seed kbar{}, coins{};
+  derive(m, pk_hash, kbar, coins);
+
+  const PkeCiphertext reenc = pke_.encrypt(sk.pk_copy, m, coins);
+  const auto ct_hash = sha3_256(pke_.encode(ct));
+  const bool ok = reenc.u == ct.u && reenc.v == ct.v;
+  if (ok) return kdf(kbar, ct_hash);
+
+  // Implicit rejection: a key derived from the secret z, indistinguishable
+  // from a real one to the attacker.
+  return kdf(sk.z, ct_hash);
+}
+
+}  // namespace cryptopim::crypto

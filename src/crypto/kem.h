@@ -1,0 +1,50 @@
+// Key encapsulation (KEM) on top of the RLWE PKE — a
+// Fujisaki–Okamoto-style transform with re-encryption check and implicit
+// rejection, the "key agreement" mechanism the paper's introduction names
+// as a primary LBC application.
+//
+//   encaps: m <- $;  (Kbar, coins) = G(m || H(pk));  c = Enc(pk, m; coins)
+//           K = KDF(Kbar || H(c))
+//   decaps: m' = Dec(sk, c); recompute (Kbar', coins'); re-encrypt;
+//           on mismatch derive K from the secret rejection value z
+//           (implicit rejection — no decryption oracle).
+#pragma once
+
+#include "crypto/pke.h"
+
+namespace cryptopim::crypto {
+
+using SharedKey = std::array<std::uint8_t, 32>;
+
+struct KemPublicKey {
+  PkePublicKey pke;
+};
+struct KemSecretKey {
+  PkeSecretKey pke;
+  PkePublicKey pk_copy;  ///< needed for re-encryption
+  Seed z{};              ///< implicit-rejection secret
+};
+
+class KemScheme {
+ public:
+  explicit KemScheme(const PkeParams& params = PkeParams::newhope_like())
+      : pke_(params) {}
+
+  PkeScheme& pke() noexcept { return pke_; }
+
+  std::pair<KemPublicKey, KemSecretKey> keygen(const Seed& seed) const;
+
+  /// Returns (ciphertext, shared key); `entropy` supplies the ephemeral m.
+  std::pair<PkeCiphertext, SharedKey> encapsulate(const KemPublicKey& pk,
+                                                  const Seed& entropy) const;
+
+  /// Always returns a key: the correct one for honest ciphertexts, a
+  /// pseudorandom rejection key for forged ones.
+  SharedKey decapsulate(const KemSecretKey& sk,
+                        const PkeCiphertext& ct) const;
+
+ private:
+  PkeScheme pke_;
+};
+
+}  // namespace cryptopim::crypto

@@ -1,0 +1,200 @@
+#include "crypto/pke.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "crypto/keccak.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::crypto {
+
+std::uint16_t compress_coeff(std::uint32_t x, unsigned d, std::uint32_t q) {
+  assert(x < q && d <= 15);
+  // round(2^d / q * x) mod 2^d
+  const std::uint64_t scaled =
+      ((static_cast<std::uint64_t>(x) << d) + q / 2) / q;
+  return static_cast<std::uint16_t>(scaled & ((1u << d) - 1));
+}
+
+std::uint32_t decompress_coeff(std::uint16_t c, unsigned d, std::uint32_t q) {
+  assert(d <= 15 && c < (1u << d));
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(c) * q + (1u << (d - 1))) >> d);
+}
+
+namespace {
+
+// Seeded XOF stream: SHAKE128(seed || nonce).
+KeccakSponge make_stream(const Seed& seed, std::uint8_t nonce) {
+  KeccakSponge sponge(168, 0x1F);
+  sponge.absorb(seed);
+  const std::uint8_t n[1] = {nonce};
+  sponge.absorb(n);
+  sponge.finalize();
+  return sponge;
+}
+
+}  // namespace
+
+ntt::Poly sample_uniform_xof(const Seed& seed, std::uint8_t nonce,
+                             std::uint32_t n, std::uint32_t q) {
+  auto stream = make_stream(seed, nonce);
+  ntt::Poly p(n);
+  // Rejection sampling on 16-bit chunks keeps the output exactly uniform.
+  const std::uint32_t limit = (0x10000u / q) * q;
+  for (auto& c : p) {
+    for (;;) {
+      std::uint8_t buf[2];
+      stream.squeeze(buf);
+      const std::uint32_t v =
+          static_cast<std::uint32_t>(buf[0]) | (std::uint32_t{buf[1]} << 8);
+      if (v < limit) {
+        c = v % q;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+ntt::Poly sample_cbd_xof(const Seed& seed, std::uint8_t nonce,
+                         std::uint32_t n, std::uint32_t q, unsigned eta) {
+  assert(eta >= 1 && eta <= 8);
+  auto stream = make_stream(seed, nonce);
+  ntt::Poly p(n);
+  for (auto& c : p) {
+    std::uint8_t buf[2];  // enough bits for eta <= 8
+    stream.squeeze(buf);
+    const std::uint16_t bits =
+        static_cast<std::uint16_t>(buf[0] | (buf[1] << 8));
+    const int a = std::popcount(static_cast<unsigned>(bits & ((1u << eta) - 1)));
+    const int b = std::popcount(
+        static_cast<unsigned>((bits >> eta) & ((1u << eta) - 1)));
+    const int v = a - b;
+    c = v >= 0 ? static_cast<std::uint32_t>(v)
+               : q - static_cast<std::uint32_t>(-v);
+  }
+  return p;
+}
+
+PkeScheme::PkeScheme(const PkeParams& params)
+    : params_(params),
+      ring_(ntt::NttParams::make(params.n, params.q)),
+      engine_(ring_) {
+  multiplier_ = [this](const ntt::Poly& a, const ntt::Poly& b) {
+    return engine_.negacyclic_multiply(a, b);
+  };
+}
+
+ntt::Poly PkeScheme::mul(const ntt::Poly& a, const ntt::Poly& b) const {
+  ++mul_count_;
+  return multiplier_(a, b);
+}
+
+std::pair<PkePublicKey, PkeSecretKey> PkeScheme::keygen(
+    const Seed& seed) const {
+  // Split the master seed into the public (rho) and secret (sigma) parts.
+  const auto expanded = shake256(seed, 64);
+  Seed rho{}, sigma{};
+  std::copy_n(expanded.begin(), 32, rho.begin());
+  std::copy_n(expanded.begin() + 32, 32, sigma.begin());
+
+  const ntt::Poly a = sample_uniform_xof(rho, 0, params_.n, params_.q);
+  PkeSecretKey sk{sample_cbd_xof(sigma, 0, params_.n, params_.q, params_.eta)};
+  const ntt::Poly e =
+      sample_cbd_xof(sigma, 1, params_.n, params_.q, params_.eta);
+
+  PkePublicKey pk;
+  pk.rho = rho;
+  pk.b = ntt::poly_add(mul(a, sk.s), e, params_.q);
+  return {std::move(pk), std::move(sk)};
+}
+
+PkeCiphertext PkeScheme::encrypt(const PkePublicKey& pk, const Message& m,
+                                 const Seed& coins) const {
+  const ntt::Poly a = sample_uniform_xof(pk.rho, 0, params_.n, params_.q);
+  const ntt::Poly r = sample_cbd_xof(coins, 0, params_.n, params_.q,
+                                     params_.eta);
+  const ntt::Poly e1 = sample_cbd_xof(coins, 1, params_.n, params_.q,
+                                      params_.eta);
+  const ntt::Poly e2 = sample_cbd_xof(coins, 2, params_.n, params_.q,
+                                      params_.eta);
+
+  // Message bit i -> coefficient i scaled to q/2 (n/256 copies per bit
+  // for redundancy when n > 256).
+  ntt::Poly msg(params_.n, 0);
+  const std::uint32_t copies = params_.n / 256;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    if ((m[bit / 8] >> (bit % 8)) & 1u) {
+      for (std::uint32_t k = 0; k < copies; ++k) {
+        msg[bit + 256 * k] = params_.q / 2;
+      }
+    }
+  }
+
+  const ntt::Poly u = ntt::poly_add(mul(a, r), e1, params_.q);
+  const ntt::Poly v = ntt::poly_add(
+      ntt::poly_add(mul(pk.b, r), e2, params_.q), msg, params_.q);
+
+  PkeCiphertext ct;
+  ct.u.resize(params_.n);
+  ct.v.resize(params_.n);
+  for (std::uint32_t i = 0; i < params_.n; ++i) {
+    ct.u[i] = compress_coeff(u[i], params_.du, params_.q);
+    ct.v[i] = compress_coeff(v[i], params_.dv, params_.q);
+  }
+  return ct;
+}
+
+Message PkeScheme::decrypt(const PkeSecretKey& sk,
+                           const PkeCiphertext& ct) const {
+  if (ct.u.size() != params_.n || ct.v.size() != params_.n ||
+      sk.s.size() != params_.n) {
+    throw std::invalid_argument("ciphertext/key size mismatch");
+  }
+  ntt::Poly u(params_.n), v(params_.n);
+  for (std::uint32_t i = 0; i < params_.n; ++i) {
+    u[i] = decompress_coeff(ct.u[i], params_.du, params_.q);
+    v[i] = decompress_coeff(ct.v[i], params_.dv, params_.q);
+  }
+  const ntt::Poly noisy = ntt::poly_sub(v, mul(u, sk.s), params_.q);
+
+  // Majority vote over the redundant copies of each bit.
+  Message m{};
+  const std::uint32_t copies = params_.n / 256;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    std::int64_t score = 0;
+    for (std::uint32_t k = 0; k < copies; ++k) {
+      const auto c = ntt::centered(noisy[bit + 256 * k], params_.q);
+      score += std::llabs(c) > params_.q / 4 ? 1 : -1;
+    }
+    if (score > 0) m[bit / 8] |= 1u << (bit % 8);
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> PkeScheme::encode(const PkePublicKey& pk) const {
+  std::vector<std::uint8_t> out(pk.rho.begin(), pk.rho.end());
+  for (const auto c : pk.b) {
+    out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(static_cast<std::uint8_t>(c >> 8));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> PkeScheme::encode(const PkeCiphertext& ct) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * (ct.u.size() + ct.v.size()));
+  for (const auto c : ct.u) {
+    out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(static_cast<std::uint8_t>(c >> 8));
+  }
+  for (const auto c : ct.v) {
+    out.push_back(static_cast<std::uint8_t>(c));
+    out.push_back(static_cast<std::uint8_t>(c >> 8));
+  }
+  return out;
+}
+
+}  // namespace cryptopim::crypto

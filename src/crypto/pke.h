@@ -1,0 +1,93 @@
+// RLWE public-key encryption with ciphertext compression.
+//
+// An LPR-style scheme at NewHope-like parameters (n = 1024, q = 12289,
+// CBD eta = 2) with Kyber-style d-bit coefficient compression of the
+// ciphertext — the "public-key encryption ... for data at rest and in
+// communication" workload of the paper. All sampling is deterministic
+// from SHAKE128 streams so encryption can be re-run from coins (what the
+// KEM's re-encryption check needs), and the ring multiplier is pluggable
+// so the accelerator can execute every polynomial product.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+namespace cryptopim::crypto {
+
+using Seed = std::array<std::uint8_t, 32>;
+using Message = std::array<std::uint8_t, 32>;
+
+struct PkeParams {
+  std::uint32_t n = 1024;
+  std::uint32_t q = 12289;
+  unsigned eta = 2;   ///< CBD noise parameter
+  unsigned du = 11;   ///< compression bits for the u component
+  unsigned dv = 4;    ///< compression bits for the v component
+
+  static PkeParams newhope_like() { return PkeParams{}; }
+};
+
+struct PkePublicKey {
+  Seed rho{};      ///< seed of the public uniform polynomial a
+  ntt::Poly b;     ///< a*s + e
+};
+struct PkeSecretKey {
+  ntt::Poly s;
+};
+struct PkeCiphertext {
+  std::vector<std::uint16_t> u;  ///< du-bit compressed coefficients
+  std::vector<std::uint16_t> v;  ///< dv-bit compressed coefficients
+};
+
+/// d-bit coefficient compression: round(2^d / q * x) mod 2^d.
+std::uint16_t compress_coeff(std::uint32_t x, unsigned d, std::uint32_t q);
+/// Inverse: round(q / 2^d * c).
+std::uint32_t decompress_coeff(std::uint16_t c, unsigned d, std::uint32_t q);
+
+/// Uniform polynomial from a SHAKE128 stream (rejection sampling).
+ntt::Poly sample_uniform_xof(const Seed& seed, std::uint8_t nonce,
+                             std::uint32_t n, std::uint32_t q);
+/// Centered-binomial polynomial from a SHAKE128 stream.
+ntt::Poly sample_cbd_xof(const Seed& seed, std::uint8_t nonce,
+                         std::uint32_t n, std::uint32_t q, unsigned eta);
+
+class PkeScheme {
+ public:
+  using Multiplier =
+      std::function<ntt::Poly(const ntt::Poly&, const ntt::Poly&)>;
+
+  explicit PkeScheme(const PkeParams& params = PkeParams::newhope_like());
+
+  const PkeParams& params() const noexcept { return params_; }
+  void set_multiplier(Multiplier m) { multiplier_ = std::move(m); }
+  std::uint64_t multiplications() const noexcept { return mul_count_; }
+
+  /// Deterministic key generation from a 32-byte seed.
+  std::pair<PkePublicKey, PkeSecretKey> keygen(const Seed& seed) const;
+
+  /// Deterministic encryption from 32 bytes of coins.
+  PkeCiphertext encrypt(const PkePublicKey& pk, const Message& m,
+                        const Seed& coins) const;
+
+  Message decrypt(const PkeSecretKey& sk, const PkeCiphertext& ct) const;
+
+  /// Canonical byte encodings (hashed by the KEM).
+  std::vector<std::uint8_t> encode(const PkePublicKey& pk) const;
+  std::vector<std::uint8_t> encode(const PkeCiphertext& ct) const;
+
+ private:
+  ntt::Poly mul(const ntt::Poly& a, const ntt::Poly& b) const;
+
+  PkeParams params_;
+  ntt::NttParams ring_;
+  ntt::GsNttEngine engine_;
+  Multiplier multiplier_;
+  mutable std::uint64_t mul_count_ = 0;
+};
+
+}  // namespace cryptopim::crypto

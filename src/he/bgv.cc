@@ -1,0 +1,176 @@
+#include "he/bgv.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::he {
+
+namespace {
+
+// c * k mod q, coefficient-wise scalar multiplication.
+ntt::Poly scalar_mul(const ntt::Poly& p, std::uint32_t k, std::uint32_t q) {
+  ntt::Poly out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = ntt::mul_mod(p[i], k, q);
+  return out;
+}
+
+ntt::Poly negate(const ntt::Poly& p, std::uint32_t q) {
+  ntt::Poly out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = ntt::sub_mod(0, p[i], q);
+  return out;
+}
+
+}  // namespace
+
+BgvContext::BgvContext(const BgvParams& params, std::uint64_t seed)
+    : params_(params),
+      ring_(ntt::NttParams::make(params.n, params.q)),
+      engine_(ring_),
+      rng_(seed) {
+  if (params.q % params.t == 0) {
+    throw std::invalid_argument("plaintext modulus must be coprime to q");
+  }
+  if (params.relin_base < 2) {
+    throw std::invalid_argument("relinearization base must be >= 2");
+  }
+  multiplier_ = [this](const ntt::Poly& a, const ntt::Poly& b) {
+    return engine_.negacyclic_multiply(a, b);
+  };
+}
+
+ntt::Poly BgvContext::mul(const ntt::Poly& a, const ntt::Poly& b) {
+  ++mul_count_;
+  return multiplier_(a, b);
+}
+
+void BgvContext::keygen() {
+  sk_ = ntt::sample_ternary(params_.n, params_.q, rng_);
+  has_key_ = true;
+
+  // Relinearization key: ksk_i = (a_i*s + t*e_i + T^i * s^2, -a_i).
+  const ntt::Poly sk2 = mul(sk_, sk_);
+  relin_key_.clear();
+  std::uint64_t power = 1;
+  while (true) {
+    const ntt::Poly a = ntt::sample_uniform(params_.n, params_.q, rng_);
+    const ntt::Poly e = ntt::sample_cbd(params_.n, params_.q, params_.eta, rng_);
+    Ciphertext ksk;
+    ksk.c0 = ntt::poly_add(
+        ntt::poly_add(mul(a, sk_), scalar_mul(e, params_.t, params_.q),
+                      params_.q),
+        scalar_mul(sk2, static_cast<std::uint32_t>(power % params_.q),
+                   params_.q),
+        params_.q);
+    ksk.c1 = negate(a, params_.q);
+    relin_key_.push_back(std::move(ksk));
+    if (power >= (params_.q + params_.relin_base - 1) / params_.relin_base) {
+      break;  // T^i covers [0, q)
+    }
+    power *= params_.relin_base;
+  }
+}
+
+Ciphertext BgvContext::encrypt(const ntt::Poly& m) {
+  if (!has_key_) throw std::logic_error("encrypt before keygen");
+  if (m.size() != params_.n) {
+    throw std::invalid_argument("plaintext size does not match the ring");
+  }
+  for (const auto c : m) {
+    if (c >= params_.t) {
+      throw std::invalid_argument("plaintext coefficient >= t");
+    }
+  }
+
+  const ntt::Poly a = ntt::sample_uniform(params_.n, params_.q, rng_);
+  const ntt::Poly e = ntt::sample_cbd(params_.n, params_.q, params_.eta, rng_);
+  Ciphertext ct;
+  ct.c0 = ntt::poly_add(
+      ntt::poly_add(mul(a, sk_), scalar_mul(e, params_.t, params_.q),
+                    params_.q),
+      m, params_.q);
+  ct.c1 = negate(a, params_.q);
+  return ct;
+}
+
+ntt::Poly BgvContext::noise_polynomial(const Ciphertext& c) const {
+  assert(has_key_);
+  // const_cast-free recomputation: use the engine directly (noise probes
+  // are diagnostics, not accelerator workload).
+  const ntt::Poly c1s = engine_.negacyclic_multiply(c.c1, sk_);
+  return ntt::poly_add(c.c0, c1s, params_.q);
+}
+
+ntt::Poly BgvContext::decrypt(const Ciphertext& c) const {
+  const ntt::Poly v = noise_polynomial(c);
+  ntt::Poly m(params_.n);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::int64_t centered = ntt::centered(v[i], params_.q);
+    m[i] = static_cast<std::uint32_t>(
+        ((centered % params_.t) + params_.t) % params_.t);
+  }
+  return m;
+}
+
+ntt::Poly BgvContext::decrypt(const Ciphertext2& c) const {
+  assert(has_key_);
+  const ntt::Poly s2 = engine_.negacyclic_multiply(sk_, sk_);
+  const ntt::Poly v = ntt::poly_add(
+      ntt::poly_add(c.d0, engine_.negacyclic_multiply(c.d1, sk_), params_.q),
+      engine_.negacyclic_multiply(c.d2, s2), params_.q);
+  ntt::Poly m(params_.n);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::int64_t centered = ntt::centered(v[i], params_.q);
+    m[i] = static_cast<std::uint32_t>(
+        ((centered % params_.t) + params_.t) % params_.t);
+  }
+  return m;
+}
+
+Ciphertext BgvContext::add(const Ciphertext& a, const Ciphertext& b) const {
+  return Ciphertext{ntt::poly_add(a.c0, b.c0, params_.q),
+                    ntt::poly_add(a.c1, b.c1, params_.q)};
+}
+
+Ciphertext2 BgvContext::multiply(const Ciphertext& a, const Ciphertext& b) {
+  Ciphertext2 out;
+  out.d0 = mul(a.c0, b.c0);
+  out.d1 = ntt::poly_add(mul(a.c0, b.c1), mul(a.c1, b.c0), params_.q);
+  out.d2 = mul(a.c1, b.c1);
+  return out;
+}
+
+Ciphertext BgvContext::relinearize(const Ciphertext2& c) {
+  assert(has_key_ && !relin_key_.empty());
+  // Decompose d2 in base T; each digit polynomial has small coefficients,
+  // bounding the key-switching noise.
+  const std::uint32_t T = params_.relin_base;
+  Ciphertext out{c.d0, c.d1};
+  ntt::Poly remaining = c.d2;
+  for (const auto& ksk : relin_key_) {
+    ntt::Poly digit(params_.n);
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      digit[i] = remaining[i] % T;
+      remaining[i] /= T;
+    }
+    out.c0 = ntt::poly_add(out.c0, mul(digit, ksk.c0), params_.q);
+    out.c1 = ntt::poly_add(out.c1, mul(digit, ksk.c1), params_.q);
+  }
+  return out;
+}
+
+double BgvContext::noise_budget_bits(const Ciphertext& c) const {
+  const ntt::Poly v = noise_polynomial(c);
+  std::int64_t worst = 1;
+  for (const auto coeff : v) {
+    worst = std::max<std::int64_t>(
+        worst, std::llabs(ntt::centered(coeff, params_.q)));
+  }
+  return std::log2(static_cast<double>(params_.q) / 2.0 /
+                   static_cast<double>(worst));
+}
+
+}  // namespace cryptopim::he

@@ -1,0 +1,99 @@
+// A BGV-flavoured leveled homomorphic encryption scheme over R_q.
+//
+// The paper motivates CryptoPIM with "data in use via homomorphic
+// encryption cryptosystems defined on RLWE lattices, e.g., BGV". This
+// module implements the symmetric-key BGV core whose entire computational
+// weight is negacyclic polynomial multiplication — the operation the
+// accelerator executes:
+//   Enc(m):  c = (a*s + t*e + m, -a)            noise t*e, message mod t
+//   Dec(c):  ((c0 + c1*s) mod q, centered) mod t
+//   Add:     component-wise
+//   Mult:    tensor to a degree-2 ciphertext (decryptable with 1, s, s^2)
+//   Relin:   base-T key switching back to degree 1
+//
+// The multiplier is pluggable: by default the software NTT engine, and the
+// examples wire in the simulated CryptoPIM accelerator so every ring
+// multiplication runs in crossbars.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+namespace cryptopim::he {
+
+struct BgvParams {
+  std::uint32_t n = 256;       ///< ring degree
+  std::uint32_t q = 786433;    ///< ciphertext modulus (NTT-friendly)
+  std::uint32_t t = 2;         ///< plaintext modulus, coprime to q
+  unsigned eta = 1;            ///< CBD noise parameter
+  std::uint32_t relin_base = 16;  ///< base T of the key-switching digits
+
+  /// The paper-flavoured default: Kyber-sized ring, SEAL-family modulus.
+  static BgvParams paper_small() { return BgvParams{}; }
+};
+
+struct Ciphertext {
+  ntt::Poly c0, c1;
+};
+
+/// Degree-2 ciphertext produced by multiplication, decryptable with
+/// (1, s, s^2) until relinearized.
+struct Ciphertext2 {
+  ntt::Poly d0, d1, d2;
+};
+
+class BgvContext {
+ public:
+  using Multiplier =
+      std::function<ntt::Poly(const ntt::Poly&, const ntt::Poly&)>;
+
+  BgvContext(const BgvParams& params, std::uint64_t seed);
+
+  const BgvParams& params() const noexcept { return params_; }
+  const ntt::NttParams& ring() const noexcept { return ring_; }
+
+  /// Replace the ring multiplier (e.g. with the CryptoPIM simulator).
+  void set_multiplier(Multiplier m) { multiplier_ = std::move(m); }
+  /// Ring multiplications performed so far (all of them go through the
+  /// pluggable multiplier — the accelerator's workload).
+  std::uint64_t multiplications() const noexcept { return mul_count_; }
+
+  /// Sample a fresh secret key (also derives the relinearization key).
+  void keygen();
+
+  /// Plaintexts are polynomials with coefficients in [0, t).
+  Ciphertext encrypt(const ntt::Poly& m);
+  ntt::Poly decrypt(const Ciphertext& c) const;
+  ntt::Poly decrypt(const Ciphertext2& c) const;
+
+  Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+  Ciphertext2 multiply(const Ciphertext& a, const Ciphertext& b);
+  /// Key-switch a degree-2 ciphertext back to degree 1.
+  Ciphertext relinearize(const Ciphertext2& c);
+
+  /// Worst-case remaining noise budget of a ciphertext in bits:
+  /// log2(q / (2 * |noise|_inf * t)) — <= 0 means decryption may fail.
+  double noise_budget_bits(const Ciphertext& c) const;
+
+ private:
+  ntt::Poly mul(const ntt::Poly& a, const ntt::Poly& b);
+  ntt::Poly noise_polynomial(const Ciphertext& c) const;
+
+  BgvParams params_;
+  ntt::NttParams ring_;
+  ntt::GsNttEngine engine_;
+  Multiplier multiplier_;
+  Xoshiro256 rng_;
+  std::uint64_t mul_count_ = 0;
+
+  ntt::Poly sk_;                      // s
+  std::vector<Ciphertext> relin_key_; // ksk_i encrypts T^i * s^2
+  bool has_key_ = false;
+};
+
+}  // namespace cryptopim::he

@@ -1,0 +1,113 @@
+#include "model/latency.h"
+
+#include <cassert>
+#include <map>
+
+#include "common/bitutil.h"
+#include "ntt/params.h"
+#include "ntt/reduction.h"
+#include "pim/circuits/arith.h"
+#include "pim/circuits/reduction.h"
+
+namespace cryptopim::model {
+
+namespace {
+
+std::uint64_t paper_barrett_cycles(std::uint32_t q) {
+  switch (q) {
+    case 7681: return 324;  // derived from the Fig. 4(a) 2700-cycle stage
+    case 12289: return 239;
+    case 786433: return 429;
+    default: assert(false); return 0;
+  }
+}
+
+std::uint64_t paper_montgomery_cycles(std::uint32_t q) {
+  switch (q) {
+    case 7681: return 683;
+    case 12289: return 461;
+    case 786433: return 1083;
+    default: assert(false); return 0;
+  }
+}
+
+}  // namespace
+
+LatencySet paper_latency(std::uint32_t n) {
+  LatencySet s;
+  s.n = n;
+  s.q = ntt::paper_modulus_for_degree(n);
+  s.bitwidth = ntt::paper_bitwidth_for_degree(n);
+  s.add = pim::circuits::add_cycles(s.bitwidth);
+  s.sub = pim::circuits::sub_cycles(s.bitwidth);
+  s.mult = pim::circuits::mult_cycles(s.bitwidth);
+  s.barrett = paper_barrett_cycles(s.q);
+  s.montgomery = paper_montgomery_cycles(s.q);
+  s.transfer = 3ull * s.bitwidth;
+  return s;
+}
+
+LatencySet measured_latency(std::uint32_t n) {
+  static std::map<std::pair<std::uint32_t, unsigned>, LatencySet> cache;
+  const std::uint32_t q = ntt::paper_modulus_for_degree(n);
+  const unsigned bw = ntt::paper_bitwidth_for_degree(n);
+  const auto key = std::make_pair(q, bw);
+  if (const auto it = cache.find(key); it != cache.end()) {
+    LatencySet s = it->second;
+    s.n = n;
+    return s;
+  }
+
+  LatencySet s;
+  s.n = n;
+  s.q = q;
+  s.bitwidth = bw;
+  s.transfer = 3ull * bw;
+
+  using namespace pim;
+  using namespace pim::circuits;
+
+  auto run = [](auto&& body) -> std::uint64_t {
+    MemoryBlock blk;
+    BlockExecutor exec(blk, RowMask::all());
+    exec.reset_stats();
+    body(exec);
+    return exec.stats().cycles;
+  };
+
+  s.add = run([bw](BlockExecutor& e) {
+    const Operand a = e.alloc(bw), b = e.alloc(bw);
+    e.reset_stats();
+    (void)add(e, a, b, bw);
+  });
+  s.sub = run([bw](BlockExecutor& e) {
+    const Operand a = e.alloc(bw), b = e.alloc(bw);
+    e.reset_stats();
+    (void)sub(e, a, b, bw);
+  });
+  s.mult = run([bw](BlockExecutor& e) {
+    const Operand a = e.alloc(bw), b = e.alloc(bw);
+    e.reset_stats();
+    (void)multiply(e, a, b);
+  });
+  // Reductions measured on the widths the butterfly produces: Barrett on
+  // post-addition sums (< 2q), Montgomery on post-multiplication products.
+  s.barrett = run([q](BlockExecutor& e) {
+    const auto spec = ntt::BarrettShiftAdd::paper_spec(q);
+    const Operand a = e.alloc(bit_length(2ull * q - 1));
+    e.reset_stats();
+    (void)barrett_reduce(e, a, spec, /*canonical=*/false);
+  });
+  s.montgomery = run([q](BlockExecutor& e) {
+    const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+    const Operand a =
+        e.alloc(bit_length(2ull * q - 1) + bit_length(q - 1));
+    e.reset_stats();
+    (void)montgomery_reduce(e, a, spec, /*canonical=*/false);
+  });
+
+  cache.emplace(key, s);
+  return s;
+}
+
+}  // namespace cryptopim::model

@@ -1,0 +1,38 @@
+// Per-operation latency sets feeding the architecture model.
+//
+// Two providers:
+//  * paper_latency()    — the formulas and Table I constants published in
+//    the paper (what the headline tables are built from);
+//  * measured_latency() — cycle counts measured by executing our
+//    functional in-memory circuits (src/pim/circuits) once per parameter
+//    set. Every bench prints both so paper-vs-reconstruction deltas stay
+//    visible.
+#pragma once
+
+#include <cstdint>
+
+namespace cryptopim::model {
+
+/// Crossbar cycles for each primitive at one (bitwidth, q) design point.
+struct LatencySet {
+  std::uint32_t n = 0;        ///< degree this set parameterises
+  std::uint32_t q = 0;
+  unsigned bitwidth = 0;      ///< datapath width N
+  std::uint64_t add = 0;      ///< N-bit addition
+  std::uint64_t sub = 0;      ///< N-bit subtraction
+  std::uint64_t mult = 0;     ///< N x N multiplication
+  std::uint64_t barrett = 0;     ///< shift-add Barrett (lazy)
+  std::uint64_t montgomery = 0;  ///< shift-add Montgomery (lazy)
+  std::uint64_t transfer = 0;    ///< inter-block switch hop (3N)
+};
+
+/// Paper values. The Barrett entry for q = 7681 is not legible in Table I;
+/// we use 324, back-derived from the Fig. 4(a) stage latency
+/// (2700 = add 97 + Barrett + sub 113 + mult 1483 + Montgomery 683).
+LatencySet paper_latency(std::uint32_t n);
+
+/// Cycle counts measured from the functional crossbar circuits (cached
+/// per degree; the first call per degree executes the circuits).
+LatencySet measured_latency(std::uint32_t n);
+
+}  // namespace cryptopim::model

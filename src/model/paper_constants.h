@@ -1,0 +1,111 @@
+// Reference numbers published in the paper, used by the benchmark harness
+// to print paper-vs-model columns. Nothing in the model reads these except
+// the single energy-calibration anchor (Table II, n=256 pipelined).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cryptopim::model::paper {
+
+/// One row of Table II.
+struct Table2Row {
+  std::uint32_t n;
+  unsigned bitwidth;
+  double latency_us;
+  double energy_uj;
+  double throughput_per_s;
+};
+
+/// X86 (gem5, 2 GHz) software implementation.
+inline const std::vector<Table2Row>& cpu_rows() {
+  static const std::vector<Table2Row> rows = {
+      {256, 16, 84.81, 570.60, 11790},
+      {512, 16, 168.96, 1179.52, 5918},
+      {1024, 16, 349.41, 2483.77, 2861},
+      {2048, 32, 736.92, 5273.07, 1365},
+      {4096, 32, 1503.31, 10864.64, 665},
+      {8192, 32, 3066.76, 22385.51, 326},
+      {16384, 32, 6256.20, 46123.84, 159},
+      {32768, 32, 12762.65, 95032.33, 78},
+  };
+  return rows;
+}
+
+/// FPGA implementation of [19] (Xilinx Zynq UltraScale+), n <= 1024 only.
+inline const std::vector<Table2Row>& fpga_rows() {
+  static const std::vector<Table2Row> rows = {
+      {256, 16, 21.56, 2.15, 46382},
+      {512, 16, 47.63, 5.28, 20995},
+      {1024, 16, 101.84, 12.52, 9819},
+  };
+  return rows;
+}
+
+/// Pipelined CryptoPIM.
+inline const std::vector<Table2Row>& cryptopim_rows() {
+  static const std::vector<Table2Row> rows = {
+      {256, 16, 68.67, 2.58, 553311},
+      {512, 16, 75.90, 5.02, 553311},
+      {1024, 16, 83.12, 11.04, 553311},
+      {2048, 32, 363.60, 82.57, 137511},
+      {4096, 32, 392.69, 178.62, 137511},
+      {8192, 32, 421.78, 384.17, 137511},
+      {16384, 32, 450.87, 822.21, 137511},
+      {32768, 32, 479.95, 1752.15, 137511},
+  };
+  return rows;
+}
+
+inline std::optional<Table2Row> row_for(const std::vector<Table2Row>& rows,
+                                        std::uint32_t n) {
+  for (const auto& r : rows) {
+    if (r.n == n) return r;
+  }
+  return std::nullopt;
+}
+
+// Table I (cycles, lazy reductions). The 7681 Barrett entry is not legible
+// in the paper; 324 is back-derived from the Fig. 4(a) stage latency.
+struct Table1Row {
+  std::uint32_t q;
+  std::uint64_t barrett;
+  std::uint64_t montgomery;
+  bool barrett_derived;
+};
+inline const std::vector<Table1Row>& table1_rows() {
+  static const std::vector<Table1Row> rows = {
+      {7681, 324, 683, true},
+      {12289, 239, 461, false},
+      {786433, 429, 1083, false},
+  };
+  return rows;
+}
+
+// Fig. 4: slowest-stage latency (cycles) at n = 256 / 16-bit.
+inline constexpr std::uint64_t kFig4AreaEfficientStage = 2700;
+inline constexpr std::uint64_t kFig4NaiveStage = 1756;
+inline constexpr std::uint64_t kFig4CryptoPimStage = 1643;
+
+// Fig. 5 claims.
+inline constexpr double kThroughputGainSmallN = 27.8;   // n <= 1024
+inline constexpr double kThroughputGainLargeN = 36.3;   // n > 1024
+inline constexpr double kLatencyOverheadSmallN = 0.29;  // +29%
+inline constexpr double kLatencyOverheadLargeN = 0.597; // +59.7%
+inline constexpr double kPipelineEnergyOverhead = 0.016;  // +1.6%
+
+// Fig. 6 claims (non-pipelined comparison).
+inline constexpr double kBp1OverBp2 = 1.9;
+inline constexpr double kBp2OverBp3 = 5.5;
+inline constexpr double kBp3OverCryptoPim = 1.2;
+inline constexpr double kBp1OverCryptoPim = 12.7;
+
+// Headline Table II claims.
+inline constexpr double kThroughputVsFpga = 31.0;   // n <= 1024, ~same energy
+inline constexpr double kLatencyPenaltyVsFpga = 0.30;
+inline constexpr double kPerfVsCpu = 7.6;
+inline constexpr double kThroughputVsCpu = 111.0;
+inline constexpr double kEnergyVsCpu = 226.0;
+
+}  // namespace cryptopim::model::paper

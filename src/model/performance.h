@@ -1,0 +1,69 @@
+// Architecture-level performance and energy model.
+//
+// Combines a PipelineSpec (structure) with a LatencySet (per-op cycles)
+// and the RRAM DeviceModel (cycle time, per-cell energy) into the numbers
+// the paper reports: latency (us), throughput (multiplications/s) and
+// energy per multiplication (uJ), for both the pipelined and the
+// non-pipelined design.
+//
+// Modelling conventions (validated against Table II, see DESIGN.md §4):
+//  * pipelined latency  = depth * slowest-stage cycles * t_cycle
+//  * pipelined rate     = 1 / (slowest-stage cycles * t_cycle)
+//  * non-pipelined      = the area-efficient chain executed sequentially
+//    (sum of its stage latencies) — fused blocks, no stage balancing
+//  * energy             = cell events (compute cycles x n active rows)
+//    plus switch-transfer events, scaled by calibrated per-event energies.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/pipeline.h"
+#include "model/latency.h"
+#include "pim/device.h"
+
+namespace cryptopim::model {
+
+/// Cycles a single stage takes, given a latency set.
+std::uint64_t stage_cycles(const arch::StageSpec& stage, const LatencySet& l);
+
+/// Evaluation of one pipeline configuration.
+struct PipelinePerf {
+  std::uint32_t n = 0;
+  std::size_t depth = 0;
+  std::uint64_t slowest_stage_cycles = 0;
+  std::uint64_t total_compute_cycles = 0;   ///< sum over stages, no transfers
+  std::uint64_t total_transfer_cycles = 0;  ///< switch hops only
+  double latency_us = 0;
+  double throughput_per_s = 0;   ///< one superbank (one multiplier chain)
+  double energy_uj = 0;
+};
+
+/// Energy model: per-cell-event and per-transfer-bit energies, calibrated
+/// once against the paper's Table II entry for n = 256 (pipelined,
+/// 2.58 uJ); every other row is then a prediction.
+struct EnergyModel {
+  double cell_event_fj = 0;
+  double transfer_bit_fj = 0;
+
+  static EnergyModel calibrated();
+
+  double energy_uj(std::uint64_t compute_cycles,
+                   std::uint64_t transfer_cycles, std::uint32_t n) const;
+};
+
+/// Evaluate a pipeline built by PipelineSpec::build.
+PipelinePerf evaluate_pipelined(const arch::PipelineSpec& spec,
+                                const LatencySet& l, const EnergyModel& em,
+                                const pim::DeviceModel& dev);
+
+/// The non-pipelined design: area-efficient chain executed sequentially.
+PipelinePerf evaluate_non_pipelined(std::uint32_t n, const LatencySet& l,
+                                    const EnergyModel& em,
+                                    const pim::DeviceModel& dev);
+
+/// Convenience: pipelined CryptoPIM at degree n with paper latencies.
+PipelinePerf cryptopim_pipelined(std::uint32_t n);
+/// Convenience: non-pipelined CryptoPIM at degree n with paper latencies.
+PipelinePerf cryptopim_non_pipelined(std::uint32_t n);
+
+}  // namespace cryptopim::model

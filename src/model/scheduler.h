@@ -1,0 +1,62 @@
+// Chip-level job scheduler for the configurable architecture (Section
+// III-D.2): a stream of polynomial multiplications of mixed degrees is
+// mapped onto the chip by re-partitioning the 128 banks into superbanks
+// per degree class, streaming each class through its pipelines, and
+// accounting fill latency, steady-state beats and utilization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/chip.h"
+#include "model/performance.h"
+
+namespace cryptopim::model {
+
+/// A batch of identical multiplications.
+struct Job {
+  std::uint32_t degree = 0;
+  std::uint64_t count = 1;
+};
+
+/// One configured interval of the schedule: the chip is partitioned for a
+/// single degree class and streams its jobs.
+struct ScheduleBatch {
+  std::uint32_t degree = 0;
+  unsigned superbanks = 0;      ///< parallel pipelines in this interval
+  unsigned segments = 1;        ///< >1 for degrees above the design point
+  std::uint64_t multiplications = 0;
+  double fill_us = 0;           ///< pipeline fill (one traversal)
+  double duration_us = 0;       ///< fill + steady-state beats
+  double bank_busy_us = 0;      ///< busy bank-time (for utilization)
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleBatch> batches;
+  double makespan_us = 0;
+  std::uint64_t total_multiplications = 0;
+  unsigned repartitions = 0;  ///< superbank reconfigurations performed
+  double utilization = 0;     ///< busy bank-time / (banks * makespan)
+  double throughput_per_s = 0;
+};
+
+class ChipScheduler {
+ public:
+  explicit ChipScheduler(arch::ChipConfig chip = arch::ChipConfig::paper_chip(),
+                         double repartition_us = 0.0)
+      : chip_(chip), repartition_us_(repartition_us) {}
+
+  const arch::ChipConfig& chip() const noexcept { return chip_; }
+
+  /// Schedule a mixed-degree job list: jobs are grouped by degree
+  /// (largest first, so expensive classes reveal the critical path early)
+  /// and each class streams through a dedicated chip partition.
+  ScheduleResult schedule(std::span<const Job> jobs) const;
+
+ private:
+  arch::ChipConfig chip_;
+  double repartition_us_;
+};
+
+}  // namespace cryptopim::model

@@ -1,0 +1,82 @@
+#include "ntt/merged_ntt.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::ntt {
+
+MergedNttEngine::MergedNttEngine(const NttParams& params) : params_(params) {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  psi_brv_.resize(n);
+  psi_inv_brv_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto e = static_cast<std::uint32_t>(bit_reverse(i, params_.log2n));
+    psi_brv_[i] = pow_mod(params_.psi, e, q);
+    psi_inv_brv_[i] = pow_mod(params_.psi_inv, e, q);
+  }
+  n_inv_ = params_.n_inv;
+}
+
+void MergedNttEngine::forward(std::span<std::uint32_t> a) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  assert(a.size() == n);
+  // Cooley–Tukey with the psi powers folded in (Longa–Naehrig Alg. 1).
+  std::uint32_t t = n;
+  for (std::uint32_t m = 1; m < n; m <<= 1) {
+    t >>= 1;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const std::uint32_t j1 = 2 * i * t;
+      const std::uint32_t s = psi_brv_[m + i];
+      for (std::uint32_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = mul_mod(a[j + t], s, q);
+        a[j] = add_mod(u, v, q);
+        a[j + t] = sub_mod(u, v, q);
+      }
+    }
+  }
+}
+
+void MergedNttEngine::inverse(std::span<std::uint32_t> a) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  assert(a.size() == n);
+  // Gentleman–Sande with psi^{-1} folded in (Longa–Naehrig Alg. 2).
+  std::uint32_t t = 1;
+  for (std::uint32_t m = n; m > 1; m >>= 1) {
+    const std::uint32_t h = m >> 1;
+    std::uint32_t j1 = 0;
+    for (std::uint32_t i = 0; i < h; ++i) {
+      const std::uint32_t s = psi_inv_brv_[h + i];
+      for (std::uint32_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = a[j + t];
+        a[j] = add_mod(u, v, q);
+        a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (auto& c : a) c = mul_mod(c, n_inv_, q);
+}
+
+Poly MergedNttEngine::negacyclic_multiply(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  assert(a.size() == n && b.size() == n);
+  Poly fa(a.begin(), a.end());
+  Poly fb(b.begin(), b.end());
+  forward(fa);
+  forward(fb);
+  for (std::uint32_t i = 0; i < n; ++i) fa[i] = mul_mod(fa[i], fb[i], q);
+  inverse(fa);
+  return fa;
+}
+
+}  // namespace cryptopim::ntt

@@ -1,0 +1,49 @@
+// Negacyclic NTT with the psi-twist merged into the twiddle factors.
+//
+// The paper (Algorithm 1) scales by psi^i / psi^{-i} in dedicated pipeline
+// stages before/after the transforms. Modern software implementations
+// (Kyber, NewHope reference code) instead fold the twist into the
+// butterfly twiddles — a Cooley–Tukey forward pass with psi-powers and a
+// Gentleman–Sande inverse pass with psi^{-1}-powers — eliminating the 4n
+// scaling multiplications and both scaling pipeline stages.
+//
+// This engine provides that variant as an optimization ablation: it must
+// produce identical products (tested), and the architecture ablation can
+// quantify what merging would save the accelerator (two blocks per bank
+// and ~2 pipeline stages of latency).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+namespace cryptopim::ntt {
+
+class MergedNttEngine {
+ public:
+  explicit MergedNttEngine(const NttParams& params);
+
+  const NttParams& params() const noexcept { return params_; }
+
+  /// Forward merged NTT (Cooley–Tukey, normal order in, bit-reversed
+  /// order out, psi folded into the twiddles).
+  void forward(std::span<std::uint32_t> a) const;
+  /// Inverse merged NTT (Gentleman–Sande, bit-reversed in, normal out,
+  /// psi^{-1} and n^{-1} folded in).
+  void inverse(std::span<std::uint32_t> a) const;
+
+  /// c = a * b over Z_q[x]/(x^n + 1); no separate scaling passes.
+  Poly negacyclic_multiply(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) const;
+
+ private:
+  NttParams params_;
+  std::vector<std::uint32_t> psi_brv_;      // psi^{brv(i)}, CT order
+  std::vector<std::uint32_t> psi_inv_brv_;  // psi^{-brv(i)}, GS order
+  std::uint32_t n_inv_ = 0;
+};
+
+}  // namespace cryptopim::ntt

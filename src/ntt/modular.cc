@@ -1,0 +1,52 @@
+#include "ntt/modular.h"
+
+namespace cryptopim::ntt {
+
+std::vector<std::uint32_t> prime_factors(std::uint32_t n) {
+  std::vector<std::uint32_t> factors;
+  for (std::uint32_t p = 2; static_cast<std::uint64_t>(p) * p <= n; ++p) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+bool is_prime(std::uint32_t q) {
+  if (q < 2) return false;
+  for (std::uint32_t p = 2; static_cast<std::uint64_t>(p) * p <= q; ++p) {
+    if (q % p == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t find_generator(std::uint32_t q) {
+  assert(is_prime(q));
+  const auto factors = prime_factors(q - 1);
+  for (std::uint32_t g = 2; g < q; ++g) {
+    bool ok = true;
+    for (std::uint32_t p : factors) {
+      if (pow_mod(g, (q - 1) / p, q) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  // Unreachable for prime q > 2: Z_q^* is cyclic.
+  assert(false);
+  return 0;
+}
+
+std::optional<std::uint32_t> primitive_root_of_unity(std::uint32_t k,
+                                                     std::uint32_t q) {
+  if (k == 0 || (q - 1) % k != 0) return std::nullopt;
+  const std::uint32_t g = find_generator(q);
+  const std::uint32_t root = pow_mod(g, (q - 1) / k, q);
+  // Order is exactly k because g generates the full group.
+  return root;
+}
+
+}  // namespace cryptopim::ntt

@@ -1,0 +1,152 @@
+#include "ntt/ntt.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::ntt {
+
+void bitrev_permute(std::span<std::uint32_t> a) {
+  const std::size_t n = a.size();
+  assert(is_pow2(n));
+  const unsigned bits = ilog2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, bits);
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+GsNttEngine::GsNttEngine(const NttParams& params) : params_(params) {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  const unsigned half_bits = params_.log2n - 1;
+
+  // Twiddles w^k for k in [0, n/2), stored bit-reversed (paper Alg. 1,
+  // line 2: "w^i, w^{-i} are in reversed order").
+  tw_fwd_.assign(n / 2, 0);
+  tw_inv_.assign(n / 2, 0);
+  std::uint32_t wf = 1;
+  std::uint32_t wi = 1;
+  for (std::uint32_t k = 0; k < n / 2; ++k) {
+    const std::size_t slot =
+        n == 2 ? 0 : static_cast<std::size_t>(bit_reverse(k, half_bits));
+    tw_fwd_[slot] = wf;
+    tw_inv_[slot] = wi;
+    wf = mul_mod(wf, params_.omega, q);
+    wi = mul_mod(wi, params_.omega_inv, q);
+  }
+
+  // psi^i (normal order) and n^{-1} psi^{-i} (normal order).
+  psi_pow_.assign(n, 0);
+  psi_inv_scaled_.assign(n, 0);
+  std::uint32_t pf = 1;
+  std::uint32_t pi = params_.n_inv;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    psi_pow_[i] = pf;
+    psi_inv_scaled_[i] = pi;
+    pf = mul_mod(pf, params_.psi, q);
+    pi = mul_mod(pi, params_.psi_inv, q);
+  }
+}
+
+void GsNttEngine::transform_gs(std::span<std::uint32_t> a,
+                               const std::vector<std::uint32_t>& twiddle) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  assert(a.size() == n);
+
+  // Algorithm 2: stage i pairs rows (j, j + 2^i); twiddle index j >> (i+1).
+  for (unsigned i = 0; i < params_.log2n; ++i) {
+    const std::uint32_t stride = 1u << i;
+    for (std::uint32_t idx = 0; idx < n / 2; ++idx) {
+      const std::uint32_t st = idx & (stride - 1);
+      const std::uint32_t j = ((idx & ~(stride - 1)) << 1) + st;
+      const std::uint32_t j2 = j + stride;
+      const std::uint32_t w = twiddle[j >> (i + 1)];
+      const std::uint32_t t = a[j];
+      a[j] = add_mod(t, a[j2], q);
+      a[j2] = mul_mod(w, sub_mod(t, a[j2], q), q);
+    }
+  }
+}
+
+void GsNttEngine::forward(std::span<std::uint32_t> a) const {
+  const std::uint32_t q = params_.q;
+  assert(a.size() == params_.n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = mul_mod(a[i], psi_pow_[i], q);
+  }
+  bitrev_permute(a);
+  transform_gs(a, tw_fwd_);
+}
+
+void GsNttEngine::inverse(std::span<std::uint32_t> a) const {
+  const std::uint32_t q = params_.q;
+  assert(a.size() == params_.n);
+  bitrev_permute(a);
+  transform_gs(a, tw_inv_);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = mul_mod(a[i], psi_inv_scaled_[i], q);
+  }
+}
+
+std::vector<std::uint32_t> GsNttEngine::negacyclic_multiply(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  if (a.size() != n || b.size() != n) {
+    throw std::invalid_argument("operand size does not match the degree");
+  }
+
+  std::vector<std::uint32_t> abar(a.begin(), a.end());
+  std::vector<std::uint32_t> bbar(b.begin(), b.end());
+  forward(abar);
+  forward(bbar);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    abar[i] = mul_mod(abar[i], bbar[i], q);
+  }
+  inverse(abar);
+  return abar;
+}
+
+void ntt_dif_classic(std::span<std::uint32_t> a, std::uint32_t omega,
+                     std::uint32_t q) {
+  const std::size_t n = a.size();
+  assert(is_pow2(n));
+  for (std::size_t len = n / 2; len >= 1; len >>= 1) {
+    const std::uint32_t wlen = pow_mod(omega, n / (2 * len), q);
+    for (std::size_t start = 0; start < n; start += 2 * len) {
+      std::uint32_t w = 1;
+      for (std::size_t j = start; j < start + len; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = a[j + len];
+        a[j] = add_mod(u, v, q);
+        a[j + len] = mul_mod(w, sub_mod(u, v, q), q);
+        w = mul_mod(w, wlen, q);
+      }
+    }
+  }
+}
+
+void ntt_dit_classic(std::span<std::uint32_t> a, std::uint32_t omega,
+                     std::uint32_t q) {
+  const std::size_t n = a.size();
+  assert(is_pow2(n));
+  for (std::size_t len = 1; len <= n / 2; len <<= 1) {
+    const std::uint32_t wlen = pow_mod(omega, n / (2 * len), q);
+    for (std::size_t start = 0; start < n; start += 2 * len) {
+      std::uint32_t w = 1;
+      for (std::size_t j = start; j < start + len; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = mul_mod(w, a[j + len], q);
+        a[j] = add_mod(u, v, q);
+        a[j + len] = sub_mod(u, v, q);
+        w = mul_mod(w, wlen, q);
+      }
+    }
+  }
+}
+
+}  // namespace cryptopim::ntt

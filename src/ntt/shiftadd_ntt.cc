@@ -1,0 +1,118 @@
+#include "ntt/shiftadd_ntt.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::ntt {
+
+ShiftAddNttMultiplier::ShiftAddNttMultiplier(const NttParams& params)
+    : params_(params),
+      barrett_(BarrettShiftAdd::paper_spec(params.q)),
+      montgomery_(MontgomeryShiftAdd::paper_spec(params.q)) {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  const GsNttEngine engine(params_);
+
+  tw_fwd_mont_.resize(n / 2);
+  for (std::uint32_t k = 0; k < n / 2; ++k) {
+    tw_fwd_mont_[k] = montgomery_.to_mont(engine.forward_twiddles()[k]);
+  }
+
+  const std::uint32_t r_mod_q = static_cast<std::uint32_t>(montgomery_.R() % q);
+  psi_mont_.resize(n);
+  psi_r2_.resize(n);
+  psi_inv_mont_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    psi_mont_[i] = montgomery_.to_mont(engine.psi_powers()[i]);
+    psi_r2_[i] = mul_mod(psi_mont_[i], r_mod_q, q);
+    psi_inv_mont_[i] = montgomery_.to_mont(engine.psi_inv_scaled()[i]);
+  }
+
+  // Inverse (conjugate, decreasing-stride) twiddles per level:
+  // W = w^{-(j mod len) * n/(2 len)}, stored in Montgomery form.
+  for (std::uint32_t len = n / 2; len >= 1; len >>= 1) {
+    const std::uint32_t step = n / (2 * len);
+    std::vector<std::uint32_t> level(len);
+    for (std::uint32_t t = 0; t < len; ++t) {
+      level[t] = montgomery_.to_mont(pow_mod(params_.omega_inv,
+                                             t * step, q));
+    }
+    tw_inv_mont_.push_back(std::move(level));
+    if (len == 1) break;
+  }
+}
+
+void ShiftAddNttMultiplier::forward_pass(Poly& v) const {
+  const std::uint32_t n = params_.n;
+  for (unsigned k = 0; k < params_.log2n; ++k) {
+    const std::uint32_t stride = 1u << k;
+    for (std::uint32_t idx = 0; idx < n / 2; ++idx) {
+      const std::uint32_t st = idx & (stride - 1);
+      const std::uint32_t j = ((idx & ~(stride - 1)) << 1) + st;
+      const std::uint32_t j2 = j + stride;
+      const std::uint32_t t = v[j];
+      const std::uint32_t w = tw_fwd_mont_[j >> (k + 1)];
+      v[j] = barrett_.reduce_canonical(
+          static_cast<std::uint64_t>(t) + v[j2]);
+      v[j2] = montgomery_.reduce_canonical(
+          static_cast<std::uint64_t>(sub_q(t, v[j2])) * w);
+    }
+  }
+}
+
+void ShiftAddNttMultiplier::inverse_pass(Poly& v) const {
+  const std::uint32_t n = params_.n;
+  std::size_t level = 0;
+  for (std::uint32_t len = n / 2; len >= 1; len >>= 1, ++level) {
+    for (std::uint32_t start = 0; start < n; start += 2 * len) {
+      for (std::uint32_t t = 0; t < len; ++t) {
+        const std::uint32_t j = start + t;
+        const std::uint32_t j2 = j + len;
+        const std::uint32_t u = v[j];
+        const std::uint32_t w = tw_inv_mont_[level][t];
+        v[j] = barrett_.reduce_canonical(
+            static_cast<std::uint64_t>(u) + v[j2]);
+        v[j2] = montgomery_.reduce_canonical(
+            static_cast<std::uint64_t>(sub_q(u, v[j2])) * w);
+      }
+    }
+    if (len == 1) break;
+  }
+}
+
+Poly ShiftAddNttMultiplier::negacyclic_multiply(const Poly& a,
+                                                const Poly& b) const {
+  const std::uint32_t n = params_.n;
+  assert(a.size() == n && b.size() == n);
+
+  // A path: plain domain. B path: Montgomery domain (entered through the
+  // psi * R^2 constants), so the point-wise Montgomery product is plain.
+  Poly abar(n), bbar(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    abar[i] = mont_mul(a[i], psi_mont_[i]);
+    bbar[i] = mont_mul(b[i], psi_r2_[i]);
+  }
+  bitrev_permute(abar);
+  bitrev_permute(bbar);
+  forward_pass(abar);
+  forward_pass(bbar);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    abar[i] = montgomery_.reduce_canonical(
+        static_cast<std::uint64_t>(abar[i]) * bbar[i]);
+  }
+
+  inverse_pass(abar);
+  // Output index r holds element bitrev(r); fold the n^{-1} psi^{-i}
+  // scaling through that permutation, then undo it.
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const auto i = static_cast<std::uint32_t>(bit_reverse(r, params_.log2n));
+    abar[r] = mont_mul(abar[r], psi_inv_mont_[i]);
+  }
+  bitrev_permute(abar);
+  return abar;
+}
+
+}  // namespace cryptopim::ntt

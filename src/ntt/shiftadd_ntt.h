@@ -1,0 +1,63 @@
+// The software mirror of the CryptoPIM datapath.
+//
+// GsNttEngine (ntt.h) uses generic machine division for modular products;
+// the accelerator cannot. This multiplier performs every runtime modular
+// operation exactly the way the hardware does (Section III-B / Algorithm
+// 3): lazy shift-add Barrett after additions, shift-add Montgomery after
+// multiplications, twiddles pre-stored in the Montgomery domain, the B
+// operand carried through the pipeline in the Montgomery domain so the
+// point-wise product lands plain, and no mid-pipeline bit-reversal
+// (conjugate inverse schedule).
+//
+// It is the executable specification the functional crossbar simulator is
+// checked against operation-for-operation, and a realistic CPU baseline
+// for the exact arithmetic the paper maps into memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+#include "ntt/reduction.h"
+
+namespace cryptopim::ntt {
+
+class ShiftAddNttMultiplier {
+ public:
+  explicit ShiftAddNttMultiplier(const NttParams& params);
+
+  const NttParams& params() const noexcept { return params_; }
+
+  /// c = a * b over Z_q[x]/(x^n + 1); inputs canonical in [0, q).
+  /// Runtime modular arithmetic is exclusively Algorithm-3 shift-add.
+  Poly negacyclic_multiply(const Poly& a, const Poly& b) const;
+
+ private:
+  // One Gentleman–Sande pass over `v` (bit-reversed input expected for
+  // the forward direction, normal input for the conjugate inverse).
+  void forward_pass(Poly& v) const;
+  void inverse_pass(Poly& v) const;
+
+  std::uint32_t mont_mul(std::uint32_t x, std::uint32_t w_mont) const {
+    return montgomery_.reduce_canonical(static_cast<std::uint64_t>(x) *
+                                        w_mont);
+  }
+  /// (x - y) mod q via the hardware's x + q - y trick plus lazy handling.
+  std::uint32_t sub_q(std::uint32_t x, std::uint32_t y) const {
+    return x + params_.q - y;  // in (0, 2q), consumed by Montgomery
+  }
+
+  NttParams params_;
+  BarrettShiftAdd barrett_;
+  MontgomeryShiftAdd montgomery_;
+  // Pre-computed (offline) constant tables, all in Montgomery form.
+  std::vector<std::uint32_t> tw_fwd_mont_;   // bit-reversed w^k * R
+  std::vector<std::uint32_t> psi_mont_;      // psi^i * R (A path)
+  std::vector<std::uint32_t> psi_r2_;        // psi^i * R^2 (B path)
+  std::vector<std::uint32_t> psi_inv_mont_;  // n^{-1} psi^{-i} * R
+  std::vector<std::vector<std::uint32_t>> tw_inv_mont_;  // per inverse level
+};
+
+}  // namespace cryptopim::ntt

@@ -1,0 +1,68 @@
+#include "pim/block.h"
+
+#include <bit>
+
+namespace cryptopim::pim {
+
+RowMask RowMask::first_rows(std::size_t count) {
+  assert(count <= kBlockRows);
+  RowMask m;
+  std::size_t remaining = count;
+  for (std::size_t w = 0; w < ColumnBits::kWords && remaining > 0; ++w) {
+    if (remaining >= 64) {
+      m.words_[w] = ~std::uint64_t{0};
+      remaining -= 64;
+    } else {
+      m.words_[w] = (std::uint64_t{1} << remaining) - 1;
+      remaining = 0;
+    }
+  }
+  return m;
+}
+
+RowMask RowMask::all() { return first_rows(kBlockRows); }
+
+std::size_t RowMask::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void MemoryBlock::write_number(std::size_t row, Col base, unsigned width,
+                               std::uint64_t value) noexcept {
+  assert(row < kBlockRows && base + width <= kBlockCols && width <= 64);
+  for (unsigned i = 0; i < width; ++i) {
+    // MSB-first: bit (width-1-i) of the value goes to column base+i.
+    cols_[base + i].set(row, (value >> (width - 1 - i)) & 1u);
+  }
+}
+
+std::uint64_t MemoryBlock::read_number(std::size_t row, Col base,
+                                       unsigned width) const noexcept {
+  assert(row < kBlockRows && base + width <= kBlockCols && width <= 64);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(cols_[base + i].get(row));
+  }
+  return v;
+}
+
+void MemoryBlock::clear() noexcept {
+  for (auto& c : cols_) c.clear();
+  enforce_faults();
+}
+
+void MemoryBlock::inject_stuck_at(Col col, std::size_t row, bool value) {
+  assert(col < kBlockCols && row < kBlockRows);
+  faults_.push_back(
+      StuckFault{col, static_cast<std::uint16_t>(row), value});
+  enforce_faults();
+}
+
+void MemoryBlock::enforce_faults() noexcept {
+  for (const auto& f : faults_) {
+    cols_[f.col].set(f.row, f.value);
+  }
+}
+
+}  // namespace cryptopim::pim

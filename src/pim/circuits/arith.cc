@@ -1,0 +1,387 @@
+#include "pim/circuits/arith.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cryptopim::pim::circuits {
+
+namespace {
+
+// Bit i of `op`, zero-extended beyond its width.
+Col bit_or_zero(const BlockExecutor& exec, const Operand& op, unsigned i) {
+  return i < op.width() ? op.col(i) : exec.zero_col();
+}
+
+}  // namespace
+
+Operand add(BlockExecutor& exec, const Operand& a, const Operand& b,
+            unsigned out_width) {
+  Operand sum = exec.alloc(out_width);
+  const Col p = exec.alloc_col();
+  const Col carry0 = exec.alloc_col();
+  const Col carry1 = exec.alloc_col();
+
+  exec.set0(carry0);  // +1: carry-in = 0
+  Col cin = carry0;
+  Col cout = carry1;
+  for (unsigned i = 0; i < out_width; ++i) {  // 6 cycles per bit
+    const Col ai = bit_or_zero(exec, a, i);
+    const Col bi = bit_or_zero(exec, b, i);
+    exec.gate2(GateKind::kXor2, p, ai, bi);
+    exec.gate2(GateKind::kXor2, sum.col(i), p, cin);
+    exec.gate3(GateKind::kMaj3, cout, ai, bi, cin);
+    std::swap(cin, cout);
+  }
+  exec.free_col(p);
+  exec.free_col(carry0);
+  exec.free_col(carry1);
+  return sum;
+}
+
+SubResult sub(BlockExecutor& exec, const Operand& a, const Operand& b,
+              unsigned out_width) {
+  Operand diff = exec.alloc(out_width);
+  const Col nb = exec.alloc_col();
+  const Col p = exec.alloc_col();
+  const Col carry0 = exec.alloc_col();
+  const Col carry1 = exec.alloc_col();
+
+  exec.set1(carry0);  // +1: a + ~b + 1
+  Col cin = carry0;
+  Col cout = carry1;
+  for (unsigned i = 0; i < out_width; ++i) {  // 7 cycles per bit
+    const Col ai = bit_or_zero(exec, a, i);
+    const Col bi = bit_or_zero(exec, b, i);
+    exec.gate1(GateKind::kNot, nb, bi);
+    exec.gate2(GateKind::kXor2, p, ai, nb);
+    exec.gate2(GateKind::kXor2, diff.col(i), p, cin);
+    exec.gate3(GateKind::kMaj3, cout, ai, nb, cin);
+    std::swap(cin, cout);
+  }
+  exec.free_col(nb);
+  exec.free_col(p);
+  exec.free_col(cout);  // the unused buffer after the final swap
+  return SubResult{std::move(diff), cin};
+}
+
+Operand multiply(BlockExecutor& exec, const Operand& a, const Operand& b) {
+  const unsigned wa = a.width();
+  const unsigned wb = b.width();
+  const unsigned out = wa + wb;
+  assert(wa > 0 && wb > 0);
+
+  // Carry-save accumulation. `s` and `c` are slot vectors: untouched slots
+  // keep their previous column (or the zero rail), touched slots get fresh
+  // result columns — so only the PP window pays gate latency each layer.
+  std::vector<Col> s(out, exec.zero_col());
+  std::vector<Col> c(out + 1, exec.zero_col());
+
+  auto replace = [&exec](Col& slot, Col fresh) {
+    if (slot != exec.zero_col()) exec.free_col(slot);
+    slot = fresh;
+  };
+
+  // Layer 0: s[i] = a_i AND b_0 (2 cycles per bit).
+  for (unsigned i = 0; i < wa; ++i) {
+    const Col dst = exec.alloc_col();
+    exec.gate2(GateKind::kAnd, dst, a.col(i), b.col(0));
+    s[i] = dst;
+  }
+
+  const Col t = exec.alloc_col();  // NAND partial-product bit, reused
+  for (unsigned j = 1; j < wb; ++j) {
+    // One extra slot above the window folds the carry emitted at the top
+    // of the previous layer back into the running sum (4 cycles):
+    //   s'[j+wa] = s ^ c,  c'[j+wa+1] = s & c.
+    {
+      const unsigned pos = j + wa;
+      const Col ns = exec.alloc_col();
+      exec.gate2(GateKind::kXor2, ns, s[pos], c[pos]);
+      const Col nc = exec.alloc_col();
+      exec.gate2(GateKind::kAnd, nc, s[pos], c[pos]);
+      replace(s[pos], ns);
+      replace(c[pos + 1], nc);
+    }
+    // Window, descending so each slot's old carry is consumed before the
+    // neighbour below overwrites it (6 cycles per bit: NAND+XOR3+MAJ3,
+    // the complemented partial product absorbed by input polarity).
+    for (unsigned i = wa; i-- > 0;) {
+      const unsigned pos = i + j;
+      exec.gate2(GateKind::kNand, t, a.col(i), b.col(j));
+      const Col ns = exec.alloc_col();
+      exec.gate3(GateKind::kXor3, ns, s[pos], c[pos], t, false, false,
+                 /*neg_c=*/true);
+      const Col nc = exec.alloc_col();
+      exec.gate3(GateKind::kMaj3, nc, s[pos], c[pos], t, false, false,
+                 /*neg_c=*/true);
+      replace(s[pos], ns);
+      replace(c[pos + 1], nc);
+    }
+    // The lowest window position absorbed c[j] into its outputs, but no
+    // iteration rewrites that slot — clear it or the final carry
+    // propagation would double-count it.
+    replace(c[j], exec.zero_col());
+  }
+  exec.free_col(t);
+
+  // Final carry propagation (6*out + 1). c[out] is provably zero: the
+  // partial sum always fits in `out` bits.
+  const Operand s_op{std::vector<Col>(s.begin(), s.end())};
+  const Operand c_op{std::vector<Col>(c.begin(), c.begin() + out)};
+  Operand prod = add(exec, s_op, c_op, out);
+  exec.free(s_op);
+  exec.free(c_op);
+  if (c[out] != exec.zero_col()) exec.free_col(c[out]);
+  return prod;
+}
+
+namespace {
+
+// A single-bit signal for the trimmed adder: a constant rail or a column
+// with an optional pending complement (absorbed by gate input polarity).
+struct Sig {
+  enum class K : std::uint8_t { kC0, kC1, kVar } k = K::kC0;
+  Col col = 0;
+  bool neg = false;
+
+  bool is_const() const { return k != K::kVar; }
+  bool const_val() const { return k == K::kC1; }
+};
+
+Sig sig_from(const BlockExecutor& exec, const Operand& op, unsigned i,
+             bool complemented) {
+  const Col c = i < op.width() ? op.col(i) : exec.zero_col();
+  if (c == exec.zero_col()) return Sig{complemented ? Sig::K::kC1 : Sig::K::kC0, 0, false};
+  if (c == exec.one_col()) return Sig{complemented ? Sig::K::kC0 : Sig::K::kC1, 0, false};
+  return Sig{Sig::K::kVar, c, complemented};
+}
+
+}  // namespace
+
+Operand add_trimmed(BlockExecutor& exec, const Operand& a, const Operand& b,
+                    unsigned out_width, bool b_complemented,
+                    bool carry_in_one) {
+  std::vector<Col> out(out_width, exec.zero_col());
+
+  // Two mutable carry buffers; a gate-computed carry always writes the one
+  // the current carry signal does not reference.
+  Col buf[2] = {0, 0};
+  bool buf_alloc[2] = {false, false};
+  auto carry_target = [&](const Sig& cur) -> Col {
+    const int pick = (buf_alloc[0] && cur.k == Sig::K::kVar && cur.col == buf[0]) ? 1 : 0;
+    if (!buf_alloc[pick]) {
+      buf[pick] = exec.alloc_col();
+      buf_alloc[pick] = true;
+    }
+    return buf[pick];
+  };
+  auto is_buffer = [&](Col c) {
+    return (buf_alloc[0] && c == buf[0]) || (buf_alloc[1] && c == buf[1]);
+  };
+
+  // Materialise a signal into a stable result column. Aliasing a carry
+  // buffer is unsafe (it gets rewritten), so those are copied out.
+  auto store = [&](Sig s) -> Col {
+    switch (s.k) {
+      case Sig::K::kC0: return exec.zero_col();
+      case Sig::K::kC1: return exec.one_col();
+      case Sig::K::kVar: break;
+    }
+    if (!s.neg && !is_buffer(s.col)) {
+      exec.retain_col(s.col);
+      return s.col;
+    }
+    const Col fresh = exec.alloc_col();
+    if (s.neg) {
+      exec.gate1(GateKind::kNot, fresh, s.col);  // 1 cycle
+    } else {
+      exec.gate2(GateKind::kOr, fresh, s.col, exec.zero_col());  // 1 cycle
+    }
+    return fresh;
+  };
+
+  const Col scratch = exec.alloc_col();
+  Sig carry{carry_in_one ? Sig::K::kC1 : Sig::K::kC0, 0, false};
+
+  for (unsigned i = 0; i < out_width; ++i) {
+    const Sig x = sig_from(exec, a, i, false);
+    const Sig y = sig_from(exec, b, i, b_complemented);
+
+    Sig vars[3];
+    unsigned n_vars = 0;
+    bool parity = false;  // xor of the constant inputs
+    unsigned ones = 0;    // count of constant-1 inputs
+    unsigned n_consts = 0;
+    for (const Sig& s : {x, y, carry}) {
+      if (s.is_const()) {
+        parity ^= s.const_val();
+        ones += s.const_val() ? 1u : 0u;
+        ++n_consts;
+      } else {
+        vars[n_vars++] = s;
+      }
+    }
+
+    Sig sum, cout;
+    switch (n_vars) {
+      case 0: {  // fully constant position: free
+        sum = Sig{parity ? Sig::K::kC1 : Sig::K::kC0, 0, false};
+        cout = Sig{ones >= 2 ? Sig::K::kC1 : Sig::K::kC0, 0, false};
+        break;
+      }
+      case 1: {  // alias (or 1-cycle complement) and constant-folded carry
+        sum = vars[0];
+        sum.neg ^= parity;
+        if (ones == 0) {
+          cout = Sig{Sig::K::kC0, 0, false};
+        } else if (ones == 2) {
+          cout = Sig{Sig::K::kC1, 0, false};
+        } else {  // the two constants differ: maj(v,0,1) = v
+          cout = vars[0];
+        }
+        break;
+      }
+      case 2: {  // one constant: 3-4 cycles
+        const Sig& u = vars[0];
+        const Sig& v = vars[1];
+        const Col s_col = exec.alloc_col();
+        // u ^ v ^ k, the constant folded into one input polarity.
+        exec.gate2(GateKind::kXor2, s_col, u.col, v.col, u.neg ^ parity,
+                   v.neg);
+        sum = Sig{Sig::K::kVar, s_col, false};
+        const Col c_col = carry_target(carry);
+        if (ones == 0) {  // maj(u,v,0) = u & v
+          exec.gate2(GateKind::kAnd, c_col, u.col, v.col, u.neg, v.neg);
+        } else {  // maj(u,v,1) = u | v
+          exec.gate2(GateKind::kOr, c_col, u.col, v.col, u.neg, v.neg);
+        }
+        cout = Sig{Sig::K::kVar, c_col, false};
+        break;
+      }
+      default: {  // full 6-cycle position
+        const Sig& u = vars[0];
+        const Sig& v = vars[1];
+        const Sig& w = vars[2];
+        exec.gate2(GateKind::kXor2, scratch, u.col, v.col, u.neg, v.neg);
+        const Col s_col = exec.alloc_col();
+        exec.gate2(GateKind::kXor2, s_col, scratch, w.col, false, w.neg);
+        sum = Sig{Sig::K::kVar, s_col, false};
+        const Col c_col = carry_target(carry);
+        exec.gate3(GateKind::kMaj3, c_col, u.col, v.col, w.col, u.neg, v.neg,
+                   w.neg);
+        cout = Sig{Sig::K::kVar, c_col, false};
+        break;
+      }
+    }
+
+    // Fresh gate-computed sums already own their column; aliases and
+    // constants go through store().
+    if (sum.k == Sig::K::kVar && !sum.neg && !is_buffer(sum.col) &&
+        (n_vars >= 2)) {
+      out[i] = sum.col;  // freshly allocated above
+    } else {
+      out[i] = store(sum);
+    }
+    carry = cout;
+  }
+
+  exec.free_col(scratch);
+  if (buf_alloc[0]) exec.free_col(buf[0]);
+  if (buf_alloc[1]) exec.free_col(buf[1]);
+  return Operand(std::move(out));
+}
+
+Operand multiply_baseline35(BlockExecutor& exec, const Operand& a,
+                            const Operand& b) {
+  const unsigned wa = a.width();
+  const unsigned wb = b.width();
+  const unsigned out = wa + wb;
+  assert(wa > 0 && wb > 0);
+
+  // Partial product row 0 seeds the accumulator directly.
+  Operand acc = exec.alloc(wa);
+  for (unsigned i = 0; i < wa; ++i) {
+    exec.gate2(GateKind::kAnd, acc.col(i), a.col(i), b.col(0));
+  }
+
+  Operand pp = exec.alloc(wa);
+  for (unsigned j = 1; j < wb; ++j) {
+    for (unsigned i = 0; i < wa; ++i) {  // 2 cycles per PP bit
+      exec.gate2(GateKind::kAnd, pp.col(i), a.col(i), b.col(j));
+    }
+    // Full-width ripple add of the shifted partial product — the
+    // expensive step carry-save accumulation avoids.
+    const unsigned width = std::min(out, wa + j + 1);
+    Operand next = add(exec, acc, exec.shifted(pp, j), width);
+    exec.free(acc);
+    acc = std::move(next);
+  }
+  exec.free(pp);
+
+  if (acc.width() < out) {
+    std::vector<Col> cols = acc.cols();
+    cols.insert(cols.end(), out - acc.width(), exec.zero_col());
+    return Operand(std::move(cols));
+  }
+  return acc;
+}
+
+Operand mux(BlockExecutor& exec, Col sel, const Operand& x, const Operand& y) {
+  assert(x.width() == y.width());
+  Operand out = exec.alloc(x.width());
+  for (unsigned i = 0; i < x.width(); ++i) {
+    exec.gate3(GateKind::kMux, out.col(i), x.col(i), y.col(i), sel);
+  }
+  return out;
+}
+
+Operand conditional_subtract(BlockExecutor& exec, const Operand& a,
+                             std::uint64_t k) {
+  const unsigned w = a.width();
+  const Operand kc = exec.constant(k, w);
+  SubResult d = sub(exec, a, kc, w);
+  Operand out = mux(exec, d.no_borrow, d.diff, a);
+  exec.free(d.diff);
+  exec.free_col(d.no_borrow);
+  return out;
+}
+
+Operand shift_add_chain(BlockExecutor& exec, const Operand& x,
+                        const std::vector<ShiftAddTerm>& terms,
+                        unsigned out_width) {
+  assert(!terms.empty());
+  std::vector<ShiftAddTerm> sorted = terms;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ShiftAddTerm& l, const ShiftAddTerm& r) {
+              return l.shift > r.shift;
+            });
+  assert(sorted.front().sign > 0 && "leading term must be positive");
+
+  Operand acc = exec.shifted(x, sorted.front().shift);  // view, zero cost
+  bool acc_owned = false;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const Operand term = exec.shifted(x, sorted[i].shift);
+    // Trimmed adds/subs: shifted views are mostly zero-rail bits, which is
+    // exactly where the paper's "necessary bit-wise computations" saving
+    // comes from.
+    Operand next = sorted[i].sign > 0
+                       ? add_trimmed(exec, acc, term, out_width)
+                       : sub_trimmed(exec, acc, term, out_width);
+    if (acc_owned) exec.free(acc);
+    acc = std::move(next);
+    acc_owned = true;
+  }
+  if (!acc_owned) {
+    // Single-term chain: a pure shifted view, zero cycles. Retain the
+    // aliased columns so the caller's free() balances.
+    std::vector<Col> cols(out_width);
+    for (unsigned i = 0; i < out_width; ++i) {
+      cols[i] = bit_or_zero(exec, acc, i);
+      exec.retain_col(cols[i]);
+    }
+    return Operand(std::move(cols));
+  }
+  return acc;
+}
+
+}  // namespace cryptopim::pim::circuits

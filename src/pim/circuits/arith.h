@@ -1,0 +1,98 @@
+// Row-parallel in-memory arithmetic circuits (Section III-B.2).
+//
+// Each routine emits a sequence of gate micro-ops on a BlockExecutor and
+// returns the operand holding the result. Latencies (in crossbar cycles,
+// identical for 1 or 512 rows):
+//   add:       6N + 1   (XOR2 + XOR2 + MAJ3 per bit, carry init)
+//   subtract:  7N + 1   (extra input complement per bit)
+//   multiply:  carry-save accumulation of NAND partial products followed
+//              by one ripple carry-propagate; measured cycles track the
+//              paper's 6.5N^2 - 11.5N + 3 within a documented tolerance
+//              (the analytic model uses the paper formula exactly).
+//   shifts:    0        (column re-addressing)
+// All results are written to freshly allocated columns; inputs are
+// untouched and may alias shifted views.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "pim/executor.h"
+
+namespace cryptopim::pim::circuits {
+
+/// sum = (a + b) mod 2^out_width. Operands narrower than out_width are
+/// zero-extended on the fly. Cost: 6*out_width + 1 cycles.
+Operand add(BlockExecutor& exec, const Operand& a, const Operand& b,
+            unsigned out_width);
+
+struct SubResult {
+  Operand diff;     ///< (a - b) mod 2^out_width
+  Col no_borrow;    ///< 1 iff a >= b (carry out of the top bit)
+};
+
+/// diff = (a - b) mod 2^out_width via a + ~b + 1. Cost: 7*out_width + 1.
+SubResult sub(BlockExecutor& exec, const Operand& a, const Operand& b,
+              unsigned out_width);
+
+/// Full product, width a.width() + b.width().
+Operand multiply(BlockExecutor& exec, const Operand& a, const Operand& b);
+
+/// The baseline multiplier of Haj-Ali et al. [35] (used by BP-1 in
+/// Fig. 6): explicit AND partial products, each folded into the
+/// accumulator with a full-width ripple add — no carry-save compression,
+/// no polarity tricks. Measured cycles track 13N^2 - 14N + 6.
+Operand multiply_baseline35(BlockExecutor& exec, const Operand& a,
+                            const Operand& b);
+
+/// Paper latency formulas (cycles) for the analytic model.
+constexpr std::uint64_t add_cycles(unsigned n) { return 6ull * n + 1; }
+constexpr std::uint64_t sub_cycles(unsigned n) { return 7ull * n + 1; }
+/// CryptoPIM multiplier (Section III-B.2).
+constexpr std::uint64_t mult_cycles(unsigned n) {
+  return (13ull * n * n - 23ull * n + 6) / 2;  // 6.5N^2 - 11.5N + 3
+}
+/// Baseline multiplier of [35] (used by BP-1 in Fig. 6).
+constexpr std::uint64_t mult_cycles_baseline(unsigned n) {
+  return 13ull * n * n - 14ull * n + 6;
+}
+
+/// Width-trimmed adder performing "only the necessary bit-wise
+/// computations" (Section III-B.2): bit positions whose inputs are
+/// constant rails fold away (aliases, 0 cycles) or degrade to 1-2-4 cycle
+/// specialisations; only positions with two variable inputs and an unknown
+/// carry pay the full 6 cycles. Used by the shift-add reduction chains,
+/// where operands are mostly shifted views full of zero-rail bits. Result
+/// bits may alias input columns (reference counted). `b_complemented`
+/// together with `carry_in_one` turns the routine into a trimmed
+/// subtractor (a + ~b + 1).
+Operand add_trimmed(BlockExecutor& exec, const Operand& a, const Operand& b,
+                    unsigned out_width, bool b_complemented = false,
+                    bool carry_in_one = false);
+
+inline Operand sub_trimmed(BlockExecutor& exec, const Operand& a,
+                           const Operand& b, unsigned out_width) {
+  return add_trimmed(exec, a, b, out_width, /*b_complemented=*/true,
+                     /*carry_in_one=*/true);
+}
+
+/// result = a >= k ? a - k : a, for a row-invariant constant k.
+/// Cost: 7w + 1 (trial subtract) + 3w (mux) + O(1).
+Operand conditional_subtract(BlockExecutor& exec, const Operand& a,
+                             std::uint64_t k);
+
+/// Bit-wise select: sel ? x : y (3 cycles per bit).
+Operand mux(BlockExecutor& exec, Col sel, const Operand& x, const Operand& y);
+
+/// Evaluate a shift-add constant chain on operand x:
+///   result = sum_i sign_i * (x << shift_i)   (mod 2^out_width)
+/// Terms are processed in descending shift order; with a leading positive
+/// term the running value stays a valid two's-complement partial result,
+/// matching Algorithm 3's evaluation. Shifts are free; each combining
+/// step is one add/sub.
+Operand shift_add_chain(BlockExecutor& exec, const Operand& x,
+                        const std::vector<ShiftAddTerm>& terms,
+                        unsigned out_width);
+
+}  // namespace cryptopim::pim::circuits

@@ -1,0 +1,39 @@
+// In-memory modular reduction circuits (Section III-B.2 "Modulo",
+// Algorithm 3, Table I).
+//
+// Both circuits consume the same shift-add decompositions as the scalar
+// reference (src/ntt/reduction.*), so the in-memory and software
+// implementations cannot drift apart. Shifts are column re-addressing
+// (free); every add/sub is width-trimmed to "only the necessary bit-wise
+// computations", which is where the paper's Table I cycle counts come
+// from. Table I counts the lazy reduction (result < 2q); the optional
+// canonicalisation (one conditional subtract) is reported separately.
+#pragma once
+
+#include <cstdint>
+
+#include "ntt/reduction.h"
+#include "pim/circuits/arith.h"
+#include "pim/executor.h"
+
+namespace cryptopim::pim::circuits {
+
+/// Barrett reduce `a` (used after additions; a <= spec.max_input()).
+/// Returns a value congruent to a mod q, < 2q lazily or < q canonically.
+Operand barrett_reduce(BlockExecutor& exec, const Operand& a,
+                       const ntt::BarrettShiftAdd& spec, bool canonical);
+
+/// Montgomery reduce `a` (used after multiplications; a < q*R).
+/// Returns a*R^{-1} mod q, < 2q lazily or < q canonically.
+Operand montgomery_reduce(BlockExecutor& exec, const Operand& a,
+                          const ntt::MontgomeryShiftAdd& spec, bool canonical);
+
+/// Multiplication-based Barrett reduction: two full in-memory
+/// multiplications by precomputed constants instead of shift-add chains.
+/// Functionally identical; used to quantify the BP-2 -> BP-3 gap of
+/// Fig. 6 (shift-add reductions are ~5.5x faster at the pipeline level).
+Operand barrett_reduce_by_multiplication(BlockExecutor& exec,
+                                         const Operand& a, std::uint32_t q,
+                                         bool canonical);
+
+}  // namespace cryptopim::pim::circuits

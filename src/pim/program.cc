@@ -1,0 +1,64 @@
+#include "pim/program.h"
+
+#include <cassert>
+
+namespace cryptopim::pim {
+
+std::uint64_t Program::cycles() const noexcept {
+  std::uint64_t c = 0;
+  for (const auto& i : instrs_) c += gate_cycles(i.op.kind);
+  return c;
+}
+
+void Program::execute(BlockExecutor& exec,
+                      std::span<const RowMask> mask_slots) const {
+  const RowMask saved = exec.mask();
+  for (const auto& i : instrs_) {
+    assert(i.mask_slot < mask_slots.size());
+    exec.set_mask(mask_slots[i.mask_slot]);
+    exec.issue(i.op);
+  }
+  exec.set_mask(saved);
+}
+
+ProgramRecorder::ProgramRecorder(BlockExecutor& exec, Program& program,
+                                 std::uint8_t mask_slot)
+    : exec_(exec) {
+  exec_.set_recording(&program);
+  exec_.set_record_slot(mask_slot);
+}
+
+ProgramRecorder::~ProgramRecorder() { exec_.set_recording(nullptr); }
+
+void ProgramRecorder::set_mask_slot(std::uint8_t slot) {
+  exec_.set_record_slot(slot);
+}
+
+std::size_t Controller::add_stage(std::string name, Program program) {
+  stages_.push_back(Stage{std::move(name), std::move(program)});
+  return stages_.size() - 1;
+}
+
+void Controller::run_stage(
+    std::size_t id, std::span<BlockExecutor* const> banks,
+    std::span<const std::vector<RowMask>> mask_tables) const {
+  const Program& prog = program(id);
+  assert(banks.size() == mask_tables.size());
+  for (std::size_t b = 0; b < banks.size(); ++b) {
+    prog.execute(*banks[b], mask_tables[b]);
+  }
+}
+
+std::uint64_t Controller::total_instructions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : stages_) n += s.program.size();
+  return n;
+}
+
+std::uint64_t Controller::total_rom_bits() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : stages_) n += s.program.rom_bits();
+  return n;
+}
+
+}  // namespace cryptopim::pim

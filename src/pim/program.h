@@ -1,0 +1,115 @@
+// Microcode programs and the CryptoPIM controller.
+//
+// The paper implements and synthesizes a controller (System Verilog /
+// Design Compiler, Section IV-A) that sequences the gate micro-ops of each
+// pipeline stage. Because every bank executes the same stage logic, the
+// controller broadcasts ONE microcode program per stage to all banks; the
+// only per-bank state is which row-mask slot each phase drives and the
+// pre-loaded data columns (twiddles).
+//
+// This module reifies that: a Program is a recorded sequence of gate
+// micro-ops annotated with a mask slot; BlockExecutor can record into a
+// Program while circuits run, and the Controller replays programs on any
+// number of blocks. Replay is bit-exact with direct execution (tested),
+// which is what makes the broadcast-SIMD execution model of the paper
+// sound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pim/executor.h"
+#include "pim/isa.h"
+
+namespace cryptopim::pim {
+
+/// One controller instruction: a gate micro-op driven on the rows selected
+/// by `mask_slot` (an index into the per-bank mask table).
+struct Instr {
+  MicroOp op;
+  std::uint8_t mask_slot = 0;
+};
+
+/// A recorded stage program.
+class Program {
+ public:
+  void append(const MicroOp& op, std::uint8_t mask_slot) {
+    instrs_.push_back(Instr{op, mask_slot});
+  }
+
+  std::size_t size() const noexcept { return instrs_.size(); }
+  bool empty() const noexcept { return instrs_.empty(); }
+  const std::vector<Instr>& instrs() const noexcept { return instrs_; }
+
+  /// Total crossbar cycles the program consumes (mask-independent).
+  std::uint64_t cycles() const noexcept;
+
+  /// Encoded size in bits, as a controller-ROM estimate: opcode (4) +
+  /// 3 x column id (9 for 512 columns) + polarity (3) + mask slot (2).
+  std::uint64_t rom_bits() const noexcept { return instrs_.size() * 36ull; }
+
+  /// Replay on a block. `mask_slots[i]` supplies the rows driven by
+  /// instructions recorded with slot i. The executor's own mask is
+  /// saved/restored.
+  void execute(BlockExecutor& exec,
+               std::span<const RowMask> mask_slots) const;
+
+ private:
+  std::vector<Instr> instrs_;
+};
+
+/// Records every micro-op an executor issues while in scope.
+///
+///   Program prog;
+///   {
+///     ProgramRecorder rec(exec, prog, /*mask_slot=*/0);
+///     circuits::add(exec, a, b, 16);     // recorded
+///     rec.set_mask_slot(1);
+///     circuits::sub(exec, a, b, 16);     // recorded under slot 1
+///   }
+class ProgramRecorder {
+ public:
+  ProgramRecorder(BlockExecutor& exec, Program& program,
+                  std::uint8_t mask_slot = 0);
+  ~ProgramRecorder();
+  ProgramRecorder(const ProgramRecorder&) = delete;
+  ProgramRecorder& operator=(const ProgramRecorder&) = delete;
+
+  void set_mask_slot(std::uint8_t slot);
+
+ private:
+  BlockExecutor& exec_;
+};
+
+/// The stage-program library of one accelerator configuration: per-stage
+/// microcode plus controller-level totals (the quantities one would size
+/// the synthesized controller by).
+class Controller {
+ public:
+  /// Register a stage program under a human-readable name; returns its id.
+  std::size_t add_stage(std::string name, Program program);
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  const Program& program(std::size_t id) const { return stages_.at(id).program; }
+  const std::string& name(std::size_t id) const { return stages_.at(id).name; }
+
+  /// Broadcast one stage to many blocks (the SIMD-across-banks execution
+  /// the architecture relies on). Each bank gets its own mask table.
+  void run_stage(std::size_t id,
+                 std::span<BlockExecutor* const> banks,
+                 std::span<const std::vector<RowMask>> mask_tables) const;
+
+  std::uint64_t total_instructions() const noexcept;
+  std::uint64_t total_rom_bits() const noexcept;
+
+ private:
+  struct Stage {
+    std::string name;
+    Program program;
+  };
+  std::vector<Stage> stages_;
+};
+
+}  // namespace cryptopim::pim

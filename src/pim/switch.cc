@@ -1,0 +1,33 @@
+#include "pim/switch.h"
+
+#include <cassert>
+
+namespace cryptopim::pim {
+
+void FixedFunctionSwitch::transfer(const MemoryBlock& src,
+                                   const Operand& src_op, const RowMask& mask,
+                                   BlockExecutor& dst_exec,
+                                   const Operand& dst_op,
+                                   Route route) const {
+  assert(src_op.width() == dst_op.width());
+  const int offset = route == Route::kStraight ? 0
+                     : route == Route::kPlusS ? static_cast<int>(stride_)
+                                              : -static_cast<int>(stride_);
+
+  MemoryBlock& dst = dst_exec.block();
+  for (unsigned bit = 0; bit < src_op.width(); ++bit) {
+    const ColumnBits& sc = src.column(src_op.col(bit));
+    ColumnBits& dc = dst.column(dst_op.col(bit));
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      if (!mask.get(r)) continue;
+      const long target = static_cast<long>(r) + offset;
+      if (target < 0 || target >= static_cast<long>(kBlockRows)) continue;
+      dc.set(static_cast<std::size_t>(target), sc.get(r));
+    }
+  }
+  dst.enforce_faults();
+  // One column per cycle through the route.
+  dst_exec.charge_transfer(src_op.width(), src_op.width());
+}
+
+}  // namespace cryptopim::pim

@@ -1,0 +1,50 @@
+// NTT-specific fixed-function inter-block switch (Section III-C).
+//
+// Unlike a full crossbar switch (whose logic grows with the square of the
+// port count), the fixed-function switch wires exactly three routes per
+// row — rowA -> rowA, rowA -> rowA+s, rowA -> rowA-s — for one hard-coded
+// stride s (the butterfly stride of the NTT stage it feeds). Three logic
+// switches per row, independent of the number of inputs/outputs.
+//
+// A transfer moves one full column per cycle; moving an N-bit operand
+// through one route costs N cycles, and the three routes of a butterfly
+// stage cost 3N in total ("transferring data between two blocks in NTT
+// requires only 3*bitwidth cycles").
+#pragma once
+
+#include <cstdint>
+
+#include "pim/block.h"
+#include "pim/executor.h"
+
+namespace cryptopim::pim {
+
+class FixedFunctionSwitch {
+ public:
+  enum class Route { kStraight, kPlusS, kMinusS };
+
+  /// `stride` is the hard-wired s of this switch instance.
+  explicit FixedFunctionSwitch(unsigned stride) : stride_(stride) {}
+
+  unsigned stride() const noexcept { return stride_; }
+
+  /// Move operand `src_op` (in `src`) to `dst_op` (in `dst`) through one
+  /// route: active src row r lands in dst row r (+/- s). Rows that would
+  /// leave [0, kBlockRows) are dropped (the NTT schedule never produces
+  /// them). Charges width cycles + width*rows transfer bits to `dst_exec`.
+  void transfer(const MemoryBlock& src, const Operand& src_op,
+                const RowMask& mask, BlockExecutor& dst_exec,
+                const Operand& dst_op, Route route) const;
+
+  /// Logic elements per row: the defining advantage over a crossbar.
+  static constexpr std::uint64_t logic_per_row() { return 3; }
+  /// A traditional crossbar needs a switch per input/output pair.
+  static constexpr std::uint64_t crossbar_logic_per_row(unsigned rows) {
+    return rows;  // rows^2 total over `rows` rows
+  }
+
+ private:
+  unsigned stride_;
+};
+
+}  // namespace cryptopim::pim

@@ -1,0 +1,105 @@
+// Cycle-accounted functional simulation of a full CryptoPIM polynomial
+// multiplication (the "in-house cycle-accurate C++ simulator" of Section
+// IV-A, reconstructed).
+//
+// Every value lives in simulated 512x512 crossbars; every arithmetic step
+// is executed by the gate-level circuits of src/pim/circuits; every move
+// between stage blocks goes through a fixed-function switch. The host only
+// writes the inputs (bit-reversed at write time, as the paper prescribes)
+// and reads the outputs.
+//
+// Dataflow decisions (documented in DESIGN.md):
+//  * Polynomial A flows in the plain domain; polynomial B enters the
+//    Montgomery domain through its psi-scale constants (psi^i * R^2), so
+//    the point-wise product Montgomery-reduces to a plain value with no
+//    extra stage.
+//  * The forward NTT is Algorithm 2 (increasing strides, bit-reversed
+//    input); the inverse runs the conjugate decreasing-stride schedule, so
+//    the mid-pipeline bit-reversal of Algorithm 1 reduces to a host-side
+//    read permutation.
+//  * Within a butterfly level, the high rows run [diff, mult, Montgomery]
+//    and the low rows [add, Barrett] under separate row masks, mirroring
+//    the Fig. 4(c) stage grouping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+#include "ntt/reduction.h"
+#include "pim/device.h"
+#include "pim/executor.h"
+#include "pim/program.h"
+
+namespace cryptopim::sim {
+
+/// Aggregated measurements of one simulated multiplication.
+struct SimReport {
+  std::uint64_t wall_cycles = 0;  ///< per-bank critical path, stages summed
+  std::size_t stages = 0;
+  pim::ExecStats totals;          ///< summed over all banks (for energy)
+  double latency_us = 0;          ///< wall_cycles * cycle time
+  double energy_uj = 0;
+  /// Per-stage cycle counts along the critical (A) path, in pipeline
+  /// order — the input the pipelined-streaming simulator beats on.
+  std::vector<std::uint64_t> stage_cycles;
+};
+
+class CryptoPimSimulator {
+ public:
+  explicit CryptoPimSimulator(
+      const ntt::NttParams& params,
+      pim::DeviceModel device = pim::DeviceModel::paper_45nm());
+
+  /// c = a * b over Z_q[x]/(x^n + 1), computed entirely in simulated
+  /// memory. Coefficients must be canonical in [0, q).
+  ntt::Poly multiply(const ntt::Poly& a, const ntt::Poly& b);
+
+  /// Measurements of the most recent multiply() call.
+  const SimReport& report() const noexcept { return report_; }
+
+  /// The stage-microcode library compiled during the most recent
+  /// multiply(): one broadcast program per stage (controller view).
+  const pim::Controller& microcode() const noexcept { return microcode_; }
+
+  const ntt::NttParams& params() const noexcept { return params_; }
+
+ private:
+  struct PolyState;
+
+  std::unique_ptr<PolyState> make_state() const;
+  void load_input(PolyState& st, const ntt::Poly& p,
+                  const std::vector<std::uint32_t>& scale_factors) const;
+
+  // Stage programs. Each consumes `cur`, produces a fresh stage array and
+  // accumulates stats into report_.
+  void stage_scale(std::unique_ptr<PolyState>& st, bool montgomery_domain,
+                   const std::vector<std::uint32_t>& factors_by_row);
+  void stage_butterfly(std::unique_ptr<PolyState>& st, std::uint32_t stride,
+                       const std::vector<std::uint32_t>& twiddle_by_high_row);
+  void stage_pointwise(std::unique_ptr<PolyState>& a,
+                       std::unique_ptr<PolyState>& b);
+
+  std::vector<std::uint32_t> forward_twiddles_by_row(std::uint32_t stride) const;
+  std::vector<std::uint32_t> inverse_twiddles_by_row(std::uint32_t stride) const;
+
+  void accumulate(PolyState& st);
+  void record_stage_program(std::string name, pim::Program& program);
+
+  ntt::NttParams params_;
+  pim::DeviceModel device_;
+  ntt::GsNttEngine engine_;
+  ntt::BarrettShiftAdd barrett_;
+  ntt::MontgomeryShiftAdd montgomery_;
+  unsigned banks_ = 1;
+  std::size_t rows_per_bank_ = 0;
+  unsigned width_ = 0;  ///< datapath bit-width
+  bool wall_enabled_ = true;
+  SimReport report_;
+  pim::Controller microcode_;
+};
+
+}  // namespace cryptopim::sim

@@ -1,0 +1,86 @@
+// Negative tests of the public API boundaries: malformed inputs must be
+// rejected with exceptions (not asserts, which vanish under NDEBUG), and
+// never corrupt state.
+#include <gtest/gtest.h>
+
+#include "crypto/pke.h"
+#include "he/bgv.h"
+#include "ntt/ntt.h"
+#include "ntt/rns.h"
+#include "sim/simulator.h"
+
+namespace cryptopim {
+namespace {
+
+TEST(ApiValidation, SimulatorRejectsWrongSizes) {
+  sim::CryptoPimSimulator simu(ntt::NttParams::for_degree(256));
+  const ntt::Poly good(256, 1);
+  const ntt::Poly bad(255, 1);
+  EXPECT_THROW(simu.multiply(bad, good), std::invalid_argument);
+  EXPECT_THROW(simu.multiply(good, bad), std::invalid_argument);
+}
+
+TEST(ApiValidation, SimulatorRejectsNonCanonicalCoefficients) {
+  sim::CryptoPimSimulator simu(ntt::NttParams::for_degree(256));
+  ntt::Poly a(256, 0), b(256, 0);
+  a[3] = 7681;  // == q, not canonical
+  EXPECT_THROW(simu.multiply(a, b), std::invalid_argument);
+}
+
+TEST(ApiValidation, SimulatorStillWorksAfterRejection) {
+  const auto p = ntt::NttParams::for_degree(64);
+  sim::CryptoPimSimulator simu(p);
+  EXPECT_THROW(simu.multiply(ntt::Poly(63, 0), ntt::Poly(64, 0)),
+               std::invalid_argument);
+  ntt::Poly one(64, 0), x(64, 0);
+  one[0] = 1;
+  x[5] = 42;
+  EXPECT_EQ(simu.multiply(x, one), x);
+}
+
+TEST(ApiValidation, NttEngineRejectsWrongSizes) {
+  const ntt::GsNttEngine eng(ntt::NttParams::for_degree(256));
+  EXPECT_THROW(eng.negacyclic_multiply(ntt::Poly(128, 0), ntt::Poly(256, 0)),
+               std::invalid_argument);
+}
+
+TEST(ApiValidation, BgvEncryptValidation) {
+  he::BgvContext ctx(he::BgvParams::paper_small(), 1);
+  EXPECT_THROW(ctx.encrypt(ntt::Poly(256, 0)), std::logic_error);  // no key
+  ctx.keygen();
+  EXPECT_THROW(ctx.encrypt(ntt::Poly(128, 0)), std::invalid_argument);
+  ntt::Poly big(256, 0);
+  big[0] = 2;  // >= t
+  EXPECT_THROW(ctx.encrypt(big), std::invalid_argument);
+}
+
+TEST(ApiValidation, PkeDecryptRejectsMalformedCiphertext) {
+  const crypto::PkeScheme pke;
+  crypto::Seed seed{};
+  const auto [pk, sk] = pke.keygen(seed);
+  crypto::PkeCiphertext short_ct;
+  short_ct.u.assign(100, 0);
+  short_ct.v.assign(1024, 0);
+  EXPECT_THROW(pke.decrypt(sk, short_ct), std::invalid_argument);
+}
+
+TEST(ApiValidation, RnsSizeMismatches) {
+  const auto basis = ntt::RnsBasis::generate(64, 2, 20);
+  EXPECT_THROW(basis.decompose(std::vector<ntt::U128>(32, 0)),
+               std::invalid_argument);
+  ntt::RnsPoly wrong;
+  wrong.residues.resize(1);
+  EXPECT_THROW(basis.reconstruct(wrong), std::invalid_argument);
+  ntt::RnsPoly ok;
+  ok.residues.assign(2, ntt::Poly(64, 0));
+  EXPECT_THROW(basis.multiply(ok, wrong), std::invalid_argument);
+}
+
+TEST(ApiValidation, ParamConstructionErrors) {
+  EXPECT_THROW(ntt::NttParams::make(0, 7681), std::invalid_argument);
+  EXPECT_THROW(ntt::NttParams::make(3, 7681), std::invalid_argument);
+  EXPECT_THROW(ntt::RnsBasis::generate(64, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cryptopim

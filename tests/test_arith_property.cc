@@ -1,0 +1,255 @@
+// Property-based differential tests of the in-memory arithmetic circuits:
+// the trimmed and uniform datapaths must agree with each other and with
+// scalar arithmetic over randomized inputs across widths, shifts and
+// polarities; circuit-level algebraic laws (commutativity, distributivity
+// of shifts) must hold; column accounting must balance under every
+// composition.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "pim/circuits/arith.h"
+#include "pim/circuits/reduction.h"
+
+namespace cryptopim::pim::circuits {
+namespace {
+
+struct Fixture {
+  MemoryBlock blk;
+  BlockExecutor exec;
+  Fixture() : exec(blk, RowMask::all()) { exec.reset_stats(); }
+  Operand input(unsigned width, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<std::uint64_t> vals(kBlockRows);
+    for (auto& v : vals) v = rng.next_bits(width);
+    Operand op = exec.alloc(width);
+    exec.host_write(op, vals);
+    return op;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Trimmed vs uniform adder: width x shift sweep
+// ---------------------------------------------------------------------------
+
+class TrimmedVsUniform
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TrimmedVsUniform, SameSumsLowerOrEqualCost) {
+  const auto [width, shift] = GetParam();
+  Fixture f;
+  const Operand a = f.input(width, 100 * width + shift);
+  const Operand b = f.input(width, 200 * width + shift);
+  const Operand b_sh = f.exec.shifted(b, shift);
+  const unsigned out_w = width + shift + 1;
+
+  f.exec.reset_stats();
+  const Operand uniform = add(f.exec, a, b_sh, out_w);
+  const auto uniform_cycles = f.exec.stats().cycles;
+
+  f.exec.reset_stats();
+  const Operand trimmed = add_trimmed(f.exec, a, b_sh, out_w);
+  const auto trimmed_cycles = f.exec.stats().cycles;
+
+  EXPECT_EQ(f.exec.host_read(uniform), f.exec.host_read(trimmed));
+  EXPECT_LE(trimmed_cycles, uniform_cycles);
+  if (shift > 1) {
+    // Rail-heavy views must actually save cycles, not just tie.
+    EXPECT_LT(trimmed_cycles, uniform_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthShiftGrid, TrimmedVsUniform,
+    ::testing::Combine(::testing::Values(4u, 9u, 16u, 21u, 32u),
+                       ::testing::Values(0u, 1u, 3u, 7u, 13u)));
+
+class TrimmedSubtract
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TrimmedSubtract, MatchesScalarWhenNonNegative) {
+  const auto [width, shift] = GetParam();
+  Fixture f;
+  const Operand a = f.input(width, 300 * width + shift);
+  // (a << shift) - a is always non-negative for shift >= 1.
+  const Operand a_sh = f.exec.shifted(a, shift);
+  const unsigned out_w = width + shift;
+  const Operand d = sub_trimmed(f.exec, a_sh, a, out_w);
+  const auto va = f.exec.host_read(a);
+  const auto out = f.exec.host_read(d);
+  const std::uint64_t mask =
+      out_w >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << out_w) - 1;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    ASSERT_EQ(out[r], ((va[r] << shift) - va[r]) & mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthShiftGrid, TrimmedSubtract,
+    ::testing::Combine(::testing::Values(5u, 14u, 20u, 32u),
+                       ::testing::Values(1u, 2u, 9u, 12u)));
+
+// ---------------------------------------------------------------------------
+// Shift-add chains against random NAF decompositions
+// ---------------------------------------------------------------------------
+
+TEST(ShiftAddChainProperty, RandomConstantsRoundTrip) {
+  Xoshiro256 rng(42);
+  for (int rep = 0; rep < 12; ++rep) {
+    const std::uint64_t c = rng.next_bits(14) | 1u;
+    const auto terms = naf_decompose(c);
+    Fixture f;
+    const unsigned in_w = 10;
+    const Operand x = f.input(in_w, 500 + rep);
+    const unsigned out_w = bit_length(c * ((1ull << in_w) - 1));
+    const Operand r = shift_add_chain(f.exec, x, terms, out_w);
+    const auto vx = f.exec.host_read(x);
+    const auto out = f.exec.host_read(r);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], vx[i] * c) << "c=" << c;
+    }
+  }
+}
+
+TEST(ShiftAddChainProperty, ChainCostGrowsWithTermCount) {
+  // More NAF terms -> more combining adds (shifts stay free).
+  Fixture f;
+  const Operand x = f.exec.alloc(12);
+  auto cost = [&f, &x](std::uint64_t c) {
+    f.exec.reset_stats();
+    const Operand r =
+        shift_add_chain(f.exec, x, naf_decompose(c), 32);
+    f.exec.free(r);
+    return f.exec.stats().cycles;
+  };
+  EXPECT_EQ(cost(1 << 7), 0u);           // single term: pure re-addressing
+  EXPECT_LT(cost(0b101000), cost(0b10101010));  // 2 vs 4 terms
+}
+
+// ---------------------------------------------------------------------------
+// Multiplier algebra
+// ---------------------------------------------------------------------------
+
+TEST(MultiplyProperty, Commutative) {
+  Fixture f;
+  const Operand a = f.input(12, 600);
+  const Operand b = f.input(12, 601);
+  const Operand ab = multiply(f.exec, a, b);
+  const Operand ba = multiply(f.exec, b, a);
+  EXPECT_EQ(f.exec.host_read(ab), f.exec.host_read(ba));
+}
+
+TEST(MultiplyProperty, ShiftDistributes) {
+  // (a << k) * b == (a * b) << k, exercised through operand views.
+  Fixture f;
+  const Operand a = f.input(10, 700);
+  const Operand b = f.input(10, 701);
+  const Operand prod = multiply(f.exec, a, b);
+  const Operand prod_shifted = multiply(f.exec, f.exec.shifted(a, 5), b);
+  const auto base = f.exec.host_read(prod);
+  const auto shifted = f.exec.host_read(prod_shifted);
+  for (std::size_t r = 0; r < base.size(); ++r) {
+    ASSERT_EQ(shifted[r], base[r] << 5);
+  }
+}
+
+TEST(MultiplyProperty, ByZeroAndOne) {
+  Fixture f;
+  const Operand a = f.input(16, 800);
+  const Operand zero = f.exec.constant(0, 16);
+  const Operand one = f.exec.constant(1, 16);
+  const auto va = f.exec.host_read(a);
+  const auto p0 = f.exec.host_read(multiply(f.exec, a, zero));
+  const auto p1 = f.exec.host_read(multiply(f.exec, a, one));
+  for (std::size_t r = 0; r < va.size(); ++r) {
+    ASSERT_EQ(p0[r], 0u);
+    ASSERT_EQ(p1[r], va[r]);
+  }
+}
+
+TEST(MultiplyProperty, AgreesWithBaseline35) {
+  for (const unsigned w : {5u, 11u, 16u}) {
+    Fixture f;
+    const Operand a = f.input(w, 900 + w);
+    const Operand b = f.input(w, 901 + w);
+    const Operand fast = multiply(f.exec, a, b);
+    const Operand slow = multiply_baseline35(f.exec, a, b);
+    EXPECT_EQ(f.exec.host_read(fast), f.exec.host_read(slow)) << "w=" << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conditional subtract sweep
+// ---------------------------------------------------------------------------
+
+TEST(ConditionalSubtractProperty, ExhaustiveAroundThreshold) {
+  const std::uint64_t k = 12289;
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(64));
+  Operand a = exec.alloc(16);
+  std::vector<std::uint64_t> vals(64);
+  for (std::size_t i = 0; i < 64; ++i) vals[i] = k - 32 + i;  // straddle k
+  exec.host_write(a, vals);
+  const Operand r = conditional_subtract(exec, a, k);
+  const auto out = exec.host_read(r);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(out[i], vals[i] >= k ? vals[i] - k : vals[i]);
+  }
+}
+
+TEST(ConditionalSubtractProperty, Idempotent) {
+  // Applying the conditional subtract twice to values < 2k equals mod k.
+  const std::uint64_t k = 7681;
+  Fixture f;
+  const Operand a = f.input(14, 1000);  // < 2^14 < 3k
+  const Operand once = conditional_subtract(f.exec, a, k);
+  const Operand twice = conditional_subtract(f.exec, once, k);
+  const auto va = f.exec.host_read(a);
+  const auto out = f.exec.host_read(twice);
+  for (std::size_t r = 0; r < va.size(); ++r) {
+    ASSERT_EQ(out[r], va[r] % k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Column accounting under composition
+// ---------------------------------------------------------------------------
+
+TEST(ColumnAccounting, DeepCompositionIsLeakFree) {
+  Fixture f;
+  const Operand a = f.input(16, 1100);
+  const Operand b = f.input(16, 1101);
+  const std::size_t baseline = f.exec.free_count();
+  for (int rep = 0; rep < 10; ++rep) {
+    Operand prod = multiply(f.exec, a, b);
+    Operand red = barrett_reduce_by_multiplication(f.exec, prod, 12289, true);
+    Operand cs = conditional_subtract(f.exec, red, 12289);
+    f.exec.free(prod);
+    f.exec.free(red);
+    f.exec.free(cs);
+    ASSERT_EQ(f.exec.free_count(), baseline) << "iteration " << rep;
+  }
+}
+
+TEST(ColumnAccounting, TrimmedResultsShareInputColumnsSafely) {
+  // A trimmed result may alias input columns; freeing the result first
+  // and the input second (or vice versa) must both be safe.
+  Fixture f;
+  for (const bool result_first : {true, false}) {
+    Operand x = f.input(12, 1200);
+    const std::size_t outstanding = f.exec.free_count();
+    Operand r = add_trimmed(f.exec, f.exec.shifted(x, 4), x, 17);
+    if (result_first) {
+      f.exec.free(r);
+      f.exec.free(x);
+    } else {
+      f.exec.free(x);
+      f.exec.free(r);
+    }
+    EXPECT_EQ(f.exec.free_count(), outstanding + 12);
+  }
+}
+
+}  // namespace
+}  // namespace cryptopim::pim::circuits

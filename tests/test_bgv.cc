@@ -1,0 +1,192 @@
+// Tests for the BGV-style homomorphic encryption layer (src/he/bgv.*):
+// encryption round trips, homomorphic addition and multiplication (tensor
+// + relinearization), noise budget behaviour, and the pluggable-multiplier
+// hook the accelerator integration relies on.
+#include "he/bgv.h"
+
+#include <gtest/gtest.h>
+
+#include "ntt/modular.h"
+#include "sim/simulator.h"
+
+namespace cryptopim::he {
+namespace {
+
+ntt::Poly random_plaintext(std::uint32_t n, std::uint32_t t,
+                           Xoshiro256& rng) {
+  ntt::Poly m(n);
+  for (auto& c : m) c = static_cast<std::uint32_t>(rng.next_below(t));
+  return m;
+}
+
+TEST(Bgv, EncryptDecryptRoundTrip) {
+  BgvContext ctx(BgvParams::paper_small(), 1);
+  ctx.keygen();
+  Xoshiro256 rng(2);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto m = random_plaintext(256, 2, rng);
+    EXPECT_EQ(ctx.decrypt(ctx.encrypt(m)), m);
+  }
+}
+
+TEST(Bgv, LargerPlaintextModulus) {
+  BgvParams p;
+  p.t = 257;  // additions only at this size
+  BgvContext ctx(p, 3);
+  ctx.keygen();
+  Xoshiro256 rng(4);
+  const auto m = random_plaintext(p.n, p.t, rng);
+  EXPECT_EQ(ctx.decrypt(ctx.encrypt(m)), m);
+}
+
+TEST(Bgv, HomomorphicAddition) {
+  BgvContext ctx(BgvParams::paper_small(), 5);
+  ctx.keygen();
+  Xoshiro256 rng(6);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto sum = ctx.add(ctx.encrypt(a), ctx.encrypt(b));
+  // (a + b) mod t, coefficient-wise.
+  ntt::Poly want(256);
+  for (std::size_t i = 0; i < 256; ++i) want[i] = (a[i] + b[i]) % 2;
+  EXPECT_EQ(ctx.decrypt(sum), want);
+}
+
+TEST(Bgv, ManyAdditionsAccumulate) {
+  BgvParams p;
+  p.t = 97;
+  BgvContext ctx(p, 7);
+  ctx.keygen();
+  Xoshiro256 rng(8);
+  ntt::Poly acc_plain(p.n, 0);
+  auto acc = ctx.encrypt(acc_plain);
+  for (int k = 0; k < 50; ++k) {
+    const auto m = random_plaintext(p.n, p.t, rng);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      acc_plain[i] = (acc_plain[i] + m[i]) % p.t;
+    }
+    acc = ctx.add(acc, ctx.encrypt(m));
+  }
+  EXPECT_EQ(ctx.decrypt(acc), acc_plain);
+}
+
+ntt::Poly plain_product(const ntt::Poly& a, const ntt::Poly& b,
+                        std::uint32_t t) {
+  // Negacyclic product of the plaintexts, mod t.
+  const auto wide = ntt::schoolbook_negacyclic(a, b, 786433);
+  ntt::Poly out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t c = ntt::centered(wide[i], 786433);
+    out[i] = static_cast<std::uint32_t>(((c % t) + t) % t);
+  }
+  return out;
+}
+
+TEST(Bgv, HomomorphicMultiplicationDegree2) {
+  BgvContext ctx(BgvParams::paper_small(), 9);
+  ctx.keygen();
+  Xoshiro256 rng(10);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto prod = ctx.multiply(ctx.encrypt(a), ctx.encrypt(b));
+  EXPECT_EQ(ctx.decrypt(prod), plain_product(a, b, 2));
+}
+
+TEST(Bgv, RelinearizationPreservesProduct) {
+  BgvContext ctx(BgvParams::paper_small(), 11);
+  ctx.keygen();
+  Xoshiro256 rng(12);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto relined = ctx.relinearize(ctx.multiply(ctx.encrypt(a),
+                                                    ctx.encrypt(b)));
+  EXPECT_EQ(ctx.decrypt(relined), plain_product(a, b, 2));
+}
+
+TEST(Bgv, MultiplyThenAdd) {
+  BgvContext ctx(BgvParams::paper_small(), 13);
+  ctx.keygen();
+  Xoshiro256 rng(14);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto c = random_plaintext(256, 2, rng);
+  // a*b + c, one multiplicative level.
+  const auto result =
+      ctx.add(ctx.relinearize(ctx.multiply(ctx.encrypt(a), ctx.encrypt(b))),
+              ctx.encrypt(c));
+  ntt::Poly want = plain_product(a, b, 2);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = (want[i] + c[i]) % 2;
+  }
+  EXPECT_EQ(ctx.decrypt(result), want);
+}
+
+TEST(Bgv, NoiseBudgetShrinksWithOperations) {
+  BgvContext ctx(BgvParams::paper_small(), 15);
+  ctx.keygen();
+  Xoshiro256 rng(16);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto ca = ctx.encrypt(a);
+  const double fresh = ctx.noise_budget_bits(ca);
+  EXPECT_GT(fresh, 8.0);  // comfortable margin at these parameters
+  const auto prod = ctx.relinearize(ctx.multiply(ca, ctx.encrypt(b)));
+  const double after = ctx.noise_budget_bits(prod);
+  EXPECT_LT(after, fresh);
+  EXPECT_GT(after, 0.0);  // still decryptable
+}
+
+TEST(Bgv, MultiplicationsAreCounted) {
+  BgvContext ctx(BgvParams::paper_small(), 17);
+  ctx.keygen();
+  const auto after_keygen = ctx.multiplications();
+  EXPECT_GT(after_keygen, 0u);  // s^2 and the relin key
+  Xoshiro256 rng(18);
+  const auto a = random_plaintext(256, 2, rng);
+  (void)ctx.encrypt(a);
+  EXPECT_EQ(ctx.multiplications(), after_keygen + 1);  // a*s
+}
+
+TEST(Bgv, PluggableMultiplierIsUsed) {
+  BgvContext ctx(BgvParams::paper_small(), 19);
+  std::uint64_t hook_calls = 0;
+  const ntt::GsNttEngine eng(ctx.ring());
+  ctx.set_multiplier([&](const ntt::Poly& x, const ntt::Poly& y) {
+    ++hook_calls;
+    return eng.negacyclic_multiply(x, y);
+  });
+  ctx.keygen();
+  Xoshiro256 rng(20);
+  const auto m = random_plaintext(256, 2, rng);
+  EXPECT_EQ(ctx.decrypt(ctx.encrypt(m)), m);
+  EXPECT_EQ(hook_calls, ctx.multiplications());
+}
+
+TEST(Bgv, RunsOnSimulatedCryptoPim) {
+  // The full HE flow with every ring multiplication in simulated
+  // crossbars.
+  BgvContext ctx(BgvParams::paper_small(), 21);
+  sim::CryptoPimSimulator simu(ctx.ring());
+  ctx.set_multiplier([&simu](const ntt::Poly& x, const ntt::Poly& y) {
+    return simu.multiply(x, y);
+  });
+  ctx.keygen();
+  Xoshiro256 rng(22);
+  const auto a = random_plaintext(256, 2, rng);
+  const auto b = random_plaintext(256, 2, rng);
+  const auto prod = ctx.relinearize(ctx.multiply(ctx.encrypt(a),
+                                                 ctx.encrypt(b)));
+  EXPECT_EQ(ctx.decrypt(prod), plain_product(a, b, 2));
+}
+
+TEST(Bgv, InvalidParametersThrow) {
+  BgvParams bad;
+  bad.t = 786433;  // not coprime to q
+  EXPECT_THROW(BgvContext(bad, 1), std::invalid_argument);
+  BgvParams bad_base;
+  bad_base.relin_base = 1;
+  EXPECT_THROW(BgvContext(bad_base, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cryptopim::he

@@ -1,0 +1,56 @@
+// Tests for the analytic CPU-baseline model (src/baselines/cpu_model.*):
+// a two-point affine fit over butterfly counts must predict the paper's
+// six interior gem5 rows.
+#include "baselines/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "model/paper_constants.h"
+#include "ntt/params.h"
+
+namespace cryptopim::baselines {
+namespace {
+
+TEST(CpuModel, OpCountScaling) {
+  // n log n growth plus the linear scaling passes.
+  EXPECT_DOUBLE_EQ(CpuModel::op_count(256), 3.0 * 128 * 8 + 4.0 * 256);
+  EXPECT_DOUBLE_EQ(CpuModel::op_count(32768),
+                   3.0 * 16384 * 15 + 4.0 * 32768);
+  EXPECT_GT(CpuModel::op_count(512) / CpuModel::op_count(256), 2.0);
+  EXPECT_LT(CpuModel::op_count(512) / CpuModel::op_count(256), 2.5);
+}
+
+TEST(CpuModel, CalibrationAnchorsReproduceExactly) {
+  const auto m = CpuModel::paper_calibrated();
+  const auto& rows = model::paper::cpu_rows();
+  EXPECT_NEAR(m.predict(256).latency_us, rows.front().latency_us, 1e-6);
+  EXPECT_NEAR(m.predict(32768).latency_us, rows.back().latency_us, 1e-6);
+  EXPECT_NEAR(m.predict(256).energy_uj, rows.front().energy_uj, 1e-6);
+  EXPECT_NEAR(m.predict(32768).energy_uj, rows.back().energy_uj, 1e-6);
+}
+
+TEST(CpuModel, InteriorRowsPredictedWithinFifteenPercent) {
+  const auto m = CpuModel::paper_calibrated();
+  for (const auto& row : model::paper::cpu_rows()) {
+    const auto p = m.predict(row.n);
+    EXPECT_NEAR(p.latency_us / row.latency_us, 1.0, 0.15) << "n=" << row.n;
+    EXPECT_NEAR(p.energy_uj / row.energy_uj, 1.0, 0.15) << "n=" << row.n;
+  }
+}
+
+TEST(CpuModel, CyclesPerButterflyIsPlausible) {
+  // A modular butterfly (load, mulmod, add/sub, store) on a 2 GHz core:
+  // tens of cycles, not thousands and not below a handful.
+  const auto m = CpuModel::paper_calibrated();
+  EXPECT_GT(m.cycles_per_op(), 5.0);
+  EXPECT_LT(m.cycles_per_op(), 100.0);
+}
+
+TEST(CpuModel, ThroughputInverse) {
+  const auto m = CpuModel::paper_calibrated();
+  const auto p = m.predict(1024);
+  EXPECT_NEAR(p.throughput_per_s * p.latency_us, 1e6, 1e-3);
+}
+
+}  // namespace
+}  // namespace cryptopim::baselines

@@ -1,0 +1,109 @@
+// Keccak/SHA-3/SHAKE validation against the published FIPS-202 vectors.
+#include "crypto/keccak.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cryptopim::crypto {
+namespace {
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (const auto b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xF]);
+  }
+  return s;
+}
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Sha3, EmptyString) {
+  EXPECT_EQ(hex(sha3_256({})),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3, Abc) {
+  EXPECT_EQ(hex(sha3_256(bytes_of("abc"))),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3, LongerMessage) {
+  // FIPS 202 vector for the 448-bit message
+  // "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".
+  EXPECT_EQ(hex(sha3_256(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376");
+}
+
+TEST(Shake128, EmptyString) {
+  EXPECT_EQ(hex(shake128({}, 32)),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Shake256, EmptyString) {
+  EXPECT_EQ(hex(shake256({}, 32)),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f");
+}
+
+TEST(Shake128, SqueezeIsIncremental) {
+  // Squeezing 64 bytes at once equals two 32-byte squeezes.
+  KeccakSponge a(168, 0x1F);
+  a.absorb(bytes_of("cryptopim"));
+  a.finalize();
+  std::vector<std::uint8_t> big(64);
+  a.squeeze(big);
+
+  KeccakSponge b(168, 0x1F);
+  b.absorb(bytes_of("cryptopim"));
+  b.finalize();
+  std::vector<std::uint8_t> lo(32), hi(32);
+  b.squeeze(lo);
+  b.squeeze(hi);
+  EXPECT_EQ(hex({big.data(), 32}), hex(lo));
+  EXPECT_EQ(hex({big.data() + 32, 32}), hex(hi));
+}
+
+TEST(Shake128, AbsorbIsIncremental) {
+  KeccakSponge a(168, 0x1F);
+  a.absorb(bytes_of("crypto"));
+  a.absorb(bytes_of("pim"));
+  a.finalize();
+  std::vector<std::uint8_t> out_a(16);
+  a.squeeze(out_a);
+  EXPECT_EQ(hex(out_a), hex({shake128(bytes_of("cryptopim"), 16)}));
+}
+
+TEST(Shake128, LongInputCrossesRateBoundary) {
+  // > 168 bytes forces an intermediate permutation during absorb.
+  const std::string msg(500, 'x');
+  const auto out = shake128(bytes_of(msg), 16);
+  // Self-consistency: one-shot equals chunked.
+  KeccakSponge s(168, 0x1F);
+  s.absorb(bytes_of(msg.substr(0, 167)));
+  s.absorb(bytes_of(msg.substr(167)));
+  s.finalize();
+  std::vector<std::uint8_t> out2(16);
+  s.squeeze(out2);
+  EXPECT_EQ(hex(out), hex(out2));
+}
+
+TEST(KeccakF, PermutationOfZeroStateIsKnown) {
+  // First lane of Keccak-f[1600] applied to the all-zero state.
+  std::array<std::uint64_t, 25> st{};
+  keccak_f1600(st);
+  EXPECT_EQ(st[0], 0xF1258F7940E1DDE7ull);
+  EXPECT_EQ(st[1], 0x84D5CCF933C0478Aull);
+}
+
+TEST(Sha3, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hex(sha3_256(bytes_of("a"))), hex(sha3_256(bytes_of("b"))));
+  EXPECT_NE(hex(sha3_256(bytes_of(""))), hex(sha3_256(bytes_of(" "))));
+}
+
+}  // namespace
+}  // namespace cryptopim::crypto

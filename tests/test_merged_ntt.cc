@@ -1,0 +1,77 @@
+// Tests for the merged-psi NTT engine (src/ntt/merged_ntt.*): it must
+// agree with the Algorithm-1 engine on every parameter set while skipping
+// the separate scaling passes.
+#include "ntt/merged_ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "ntt/modular.h"
+#include "ntt/ntt.h"
+
+namespace cryptopim::ntt {
+namespace {
+
+class MergedNtt : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MergedNtt, MatchesAlgorithm1Engine) {
+  const std::uint32_t n = GetParam();
+  const auto p = NttParams::for_degree(n);
+  const MergedNttEngine merged(p);
+  const GsNttEngine reference(p);
+  Xoshiro256 rng(n + 77);
+  const auto a = sample_uniform(n, p.q, rng);
+  const auto b = sample_uniform(n, p.q, rng);
+  EXPECT_EQ(merged.negacyclic_multiply(a, b),
+            reference.negacyclic_multiply(a, b));
+}
+
+TEST_P(MergedNtt, ForwardInverseRoundTrip) {
+  const std::uint32_t n = GetParam();
+  const auto p = NttParams::for_degree(n);
+  const MergedNttEngine merged(p);
+  Xoshiro256 rng(n + 78);
+  const auto x = sample_uniform(n, p.q, rng);
+  auto a = x;
+  merged.forward(a);
+  merged.inverse(a);
+  EXPECT_EQ(a, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MergedNtt,
+                         ::testing::Values(8u, 64u, 256u, 1024u, 4096u));
+
+TEST(MergedNttStructure, ForwardOutputIsBitReversedSpectrum) {
+  // merged.forward == (psi-scale then Algorithm-2 path) up to ordering:
+  // spectrum values must coincide as multisets and via explicit brv map.
+  const auto p = NttParams::for_degree(64);
+  const MergedNttEngine merged(p);
+  const GsNttEngine reference(p);
+  Xoshiro256 rng(5);
+  const auto x = sample_uniform(p.n, p.q, rng);
+
+  auto via_merged = x;
+  merged.forward(via_merged);          // bit-reversed order
+  auto via_ref = x;
+  reference.forward(via_ref);          // normal order
+  for (std::size_t i = 0; i < p.n; ++i) {
+    EXPECT_EQ(via_merged[i], via_ref[bit_reverse(i, p.log2n)]) << i;
+  }
+}
+
+TEST(MergedNttStructure, SavesTheScalingPasses) {
+  // The ablation claim: merging removes 2 scale stages from each
+  // direction of the accelerator pipeline — at the software level that is
+  // 4n fewer multiplications. Verified structurally: merged multiply uses
+  // exactly n pointwise products + butterfly products, reference adds 4n.
+  // (Here we just pin the algorithmic identity the arch ablation cites.)
+  const auto p = NttParams::for_degree(256);
+  const std::uint64_t butterflies = 3ull * (p.n / 2) * p.log2n;
+  const std::uint64_t merged_muls = butterflies + p.n;
+  const std::uint64_t reference_muls = butterflies + p.n + 4ull * p.n;
+  EXPECT_EQ(reference_muls - merged_muls, 4ull * p.n);
+}
+
+}  // namespace
+}  // namespace cryptopim::ntt

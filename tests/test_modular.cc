@@ -1,0 +1,119 @@
+// Unit tests for generic modular arithmetic (src/ntt/modular.*).
+#include "ntt/modular.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cryptopim::ntt {
+namespace {
+
+TEST(Modular, AddSubRoundTrip) {
+  const std::uint32_t q = 12289;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+    EXPECT_EQ(sub_mod(add_mod(a, b, q), b, q), a);
+    EXPECT_EQ(add_mod(sub_mod(a, b, q), b, q), a);
+  }
+}
+
+TEST(Modular, AddModBoundary) {
+  EXPECT_EQ(add_mod(7680, 1, 7681), 0u);
+  EXPECT_EQ(add_mod(7680, 7680, 7681), 7679u);
+  EXPECT_EQ(sub_mod(0, 1, 7681), 7680u);
+  EXPECT_EQ(sub_mod(0, 0, 7681), 0u);
+}
+
+TEST(Modular, MulModMatchesWideArithmetic) {
+  Xoshiro256 rng(2);
+  for (std::uint32_t q : {7681u, 12289u, 786433u, 2147483647u}) {
+    for (int i = 0; i < 500; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+      const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+      const auto expected = static_cast<std::uint32_t>(
+          (static_cast<unsigned __int128>(a) * b) % q);
+      EXPECT_EQ(mul_mod(a, b, q), expected);
+    }
+  }
+}
+
+TEST(Modular, PowMod) {
+  EXPECT_EQ(pow_mod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(pow_mod(3, 0, 7681), 1u);
+  // Fermat: a^(q-1) = 1 for prime q.
+  for (std::uint32_t q : {7681u, 12289u, 786433u}) {
+    EXPECT_EQ(pow_mod(5, q - 1, q), 1u);
+  }
+}
+
+TEST(Modular, InvMod) {
+  Xoshiro256 rng(3);
+  for (std::uint32_t q : {7681u, 12289u, 786433u}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(q - 1)) + 1;
+      EXPECT_EQ(mul_mod(a, inv_mod(a, q), q), 1u);
+    }
+  }
+}
+
+TEST(Modular, InvModPow2) {
+  // Montgomery q' derivation depends on exact inverses mod 2^k.
+  for (std::uint32_t q : {7681u, 12289u, 786433u, 3u, 65535u}) {
+    for (unsigned bits : {8u, 18u, 32u, 64u}) {
+      const std::uint64_t inv = inv_mod_pow2(q, bits);
+      const std::uint64_t mask =
+          bits == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+      EXPECT_EQ((q * inv) & mask, 1u) << "q=" << q << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Modular, PrimeFactors) {
+  EXPECT_EQ(prime_factors(7680), (std::vector<std::uint32_t>{2, 3, 5}));
+  EXPECT_EQ(prime_factors(12288), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(prime_factors(786432), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(prime_factors(1), (std::vector<std::uint32_t>{}));
+  EXPECT_EQ(prime_factors(97), (std::vector<std::uint32_t>{97}));
+}
+
+TEST(Modular, IsPrime) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(7681));
+  EXPECT_TRUE(is_prime(12289));
+  EXPECT_TRUE(is_prime(786433));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(7680));
+  EXPECT_FALSE(is_prime(12288));
+}
+
+TEST(Modular, FindGeneratorHasFullOrder) {
+  for (std::uint32_t q : {7681u, 12289u, 786433u, 17u}) {
+    const std::uint32_t g = find_generator(q);
+    // g^((q-1)/p) != 1 for every prime factor p of q-1.
+    for (std::uint32_t p : prime_factors(q - 1)) {
+      EXPECT_NE(pow_mod(g, (q - 1) / p, q), 1u);
+    }
+    EXPECT_EQ(pow_mod(g, q - 1, q), 1u);
+  }
+}
+
+TEST(Modular, PrimitiveRootOfUnity) {
+  // 2n-th roots needed by the paper's parameter sets must exist.
+  struct Case {
+    std::uint32_t k, q;
+  };
+  for (const auto& c : {Case{512, 7681}, Case{2048, 12289},
+                        Case{65536, 786433}}) {
+    const auto root = primitive_root_of_unity(c.k, c.q);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(pow_mod(*root, c.k, c.q), 1u);
+    EXPECT_NE(pow_mod(*root, c.k / 2, c.q), 1u);
+  }
+  // No 2n-th root when 2n does not divide q-1.
+  EXPECT_FALSE(primitive_root_of_unity(1024, 7681).has_value());
+}
+
+}  // namespace
+}  // namespace cryptopim::ntt

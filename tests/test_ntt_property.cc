@@ -1,0 +1,178 @@
+// Algebraic property tests of the NTT stack: transform linearity, the
+// shift (monomial) theorem, multiplicative structure of the ring, and
+// cross-engine consistency — each property over randomized inputs and
+// multiple parameter sets.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ntt/modular.h"
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+namespace cryptopim::ntt {
+namespace {
+
+class NttAlgebra : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void SetUp() override {
+    params_ = NttParams::for_degree(GetParam());
+    engine_ = std::make_unique<GsNttEngine>(params_);
+    rng_ = std::make_unique<Xoshiro256>(GetParam() * 7 + 1);
+  }
+  Poly random_poly() { return sample_uniform(params_.n, params_.q, *rng_); }
+
+  NttParams params_;
+  std::unique_ptr<GsNttEngine> engine_;
+  std::unique_ptr<Xoshiro256> rng_;
+};
+
+TEST_P(NttAlgebra, ForwardIsLinear) {
+  const auto a = random_poly();
+  const auto b = random_poly();
+  const std::uint32_t k = static_cast<std::uint32_t>(rng_->next_below(params_.q));
+
+  // NTT(a + k*b) == NTT(a) + k*NTT(b)
+  Poly akb(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    akb[i] = add_mod(a[i], mul_mod(k, b[i], params_.q), params_.q);
+  }
+  auto lhs = akb;
+  engine_->forward(lhs);
+
+  auto fa = a;
+  auto fb = b;
+  engine_->forward(fa);
+  engine_->forward(fb);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    ASSERT_EQ(lhs[i],
+              add_mod(fa[i], mul_mod(k, fb[i], params_.q), params_.q));
+  }
+}
+
+TEST_P(NttAlgebra, MonomialShiftTheorem) {
+  // a(x) * x^k rotates coefficients with a sign flip on wrap-around.
+  const auto a = random_poly();
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(rng_->next_below(params_.n - 1)) + 1;
+  Poly xk(params_.n, 0);
+  xk[k] = 1;
+  const auto rotated = engine_->negacyclic_multiply(a, xk);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const std::size_t src = (i + params_.n - k) % params_.n;
+    const bool wrapped = i < k;
+    const std::uint32_t expect =
+        wrapped ? sub_mod(0, a[src], params_.q) : a[src];
+    ASSERT_EQ(rotated[i], expect) << "i=" << i << " k=" << k;
+  }
+}
+
+TEST_P(NttAlgebra, MultiplicationCommutes) {
+  const auto a = random_poly();
+  const auto b = random_poly();
+  EXPECT_EQ(engine_->negacyclic_multiply(a, b),
+            engine_->negacyclic_multiply(b, a));
+}
+
+TEST_P(NttAlgebra, MultiplicationAssociates) {
+  const auto a = random_poly();
+  const auto b = random_poly();
+  const auto c = random_poly();
+  EXPECT_EQ(
+      engine_->negacyclic_multiply(engine_->negacyclic_multiply(a, b), c),
+      engine_->negacyclic_multiply(a, engine_->negacyclic_multiply(b, c)));
+}
+
+TEST_P(NttAlgebra, ScalarsFactorOut) {
+  const auto a = random_poly();
+  const auto b = random_poly();
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(rng_->next_below(params_.q - 1)) + 1;
+  Poly ka(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    ka[i] = mul_mod(k, a[i], params_.q);
+  }
+  const auto lhs = engine_->negacyclic_multiply(ka, b);
+  auto rhs = engine_->negacyclic_multiply(a, b);
+  for (auto& c : rhs) c = mul_mod(k, c, params_.q);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(NttAlgebra, ForwardOfDeltaIsPsiTwist) {
+  // NTT(delta_0) = (1,1,...,1) up to the psi pre-twist: delta_0 scaled by
+  // psi^0 = 1, so the spectrum is all ones.
+  Poly delta(params_.n, 0);
+  delta[0] = 1;
+  engine_->forward(delta);
+  for (const auto v : delta) ASSERT_EQ(v, 1u);
+}
+
+TEST_P(NttAlgebra, PointwiseSquareMatchesSelfMultiply) {
+  const auto a = random_poly();
+  auto fa = a;
+  engine_->forward(fa);
+  for (auto& v : fa) v = mul_mod(v, v, params_.q);
+  engine_->inverse(fa);
+  EXPECT_EQ(fa, engine_->negacyclic_multiply(a, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttAlgebra,
+                         ::testing::Values(16u, 256u, 512u, 2048u));
+
+// ---------------------------------------------------------------------------
+// Sampler distributions
+// ---------------------------------------------------------------------------
+
+TEST(Samplers, UniformCoversRange) {
+  Xoshiro256 rng(5);
+  const auto p = sample_uniform(4096, 7681, rng);
+  std::uint32_t lo = 7681, hi = 0;
+  for (const auto c : p) {
+    ASSERT_LT(c, 7681u);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LT(lo, 100u);    // both tails hit with overwhelming probability
+  EXPECT_GT(hi, 7580u);
+}
+
+TEST(Samplers, CbdIsCenteredAndBounded) {
+  Xoshiro256 rng(6);
+  const unsigned eta = 3;
+  const auto p = sample_cbd(8192, 12289, eta, rng);
+  std::int64_t sum = 0;
+  for (const auto c : p) {
+    const auto v = centered(c, 12289);
+    ASSERT_LE(std::llabs(v), static_cast<std::int64_t>(eta));
+    sum += v;
+  }
+  // Mean ~0 with std ~ sqrt(n * eta/2): |sum| < 5 sigma.
+  EXPECT_LT(std::llabs(sum), 5 * 110);
+}
+
+TEST(Samplers, TernaryValues) {
+  Xoshiro256 rng(7);
+  const auto p = sample_ternary(4096, 786433, rng);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto c : p) {
+    const auto v = centered(c, 786433);
+    ASSERT_LE(std::llabs(v), 1);
+    ++counts[v + 1];
+  }
+  // Roughly balanced thirds.
+  for (const auto n : counts) {
+    EXPECT_GT(n, 4096u / 3 - 200);
+    EXPECT_LT(n, 4096u / 3 + 200);
+  }
+}
+
+TEST(Centered, Bounds) {
+  EXPECT_EQ(centered(0, 7681), 0);
+  EXPECT_EQ(centered(1, 7681), 1);
+  EXPECT_EQ(centered(7680, 7681), -1);
+  EXPECT_EQ(centered(3840, 7681), 3840);   // q/2 floor stays positive
+  EXPECT_EQ(centered(3841, 7681), -3840);  // first negative representative
+}
+
+}  // namespace
+}  // namespace cryptopim::ntt

@@ -1,0 +1,346 @@
+// Tests for the in-memory arithmetic circuits (src/pim/circuits/arith.*):
+// functional correctness against scalar arithmetic over random inputs in
+// all rows simultaneously, and the cycle-count contracts of Section
+// III-B.2 (add = 6N+1, sub = 7N+1, multiply tracking 6.5N^2-11.5N+3).
+#include "pim/circuits/arith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cryptopim::pim::circuits {
+namespace {
+
+struct Fixture {
+  MemoryBlock blk;
+  BlockExecutor exec;
+  explicit Fixture(std::size_t rows = kBlockRows)
+      : exec(blk, RowMask::first_rows(rows)) {
+    exec.reset_stats();  // drop the one-rail init cycle for exact counts
+  }
+
+  Operand input(unsigned width, std::span<const std::uint64_t> vals) {
+    Operand op = exec.alloc(width);
+    exec.host_write(op, vals);
+    return op;
+  }
+};
+
+std::vector<std::uint64_t> random_values(std::size_t n, unsigned bits,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_bits(bits);
+  return v;
+}
+
+class AddSubWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AddSubWidth, AddMatchesScalarAllRows) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const auto va = random_values(kBlockRows, w, 1000 + w);
+  const auto vb = random_values(kBlockRows, w, 2000 + w);
+  const Operand a = f.input(w, va);
+  const Operand b = f.input(w, vb);
+
+  const Operand sum = add(f.exec, a, b, w + 1);
+  const auto out = f.exec.host_read(sum);
+  const std::uint64_t mask = (std::uint64_t{1} << (w + 1)) - 1;
+  for (std::size_t r = 0; r < kBlockRows; ++r) {
+    ASSERT_EQ(out[r], (va[r] + vb[r]) & mask) << "row " << r;
+  }
+}
+
+TEST_P(AddSubWidth, AddCyclesExactly6NPlus1) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const Operand a = f.exec.alloc(w);
+  const Operand b = f.exec.alloc(w);
+  f.exec.reset_stats();
+  const Operand sum = add(f.exec, a, b, w);
+  (void)sum;
+  EXPECT_EQ(f.exec.stats().cycles, add_cycles(w));
+}
+
+TEST_P(AddSubWidth, SubMatchesScalarAllRows) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const auto va = random_values(kBlockRows, w, 3000 + w);
+  const auto vb = random_values(kBlockRows, w, 4000 + w);
+  const Operand a = f.input(w, va);
+  const Operand b = f.input(w, vb);
+
+  const SubResult d = sub(f.exec, a, b, w);
+  const auto out = f.exec.host_read(d.diff);
+  const std::uint64_t mask = w >= 64 ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << w) - 1;
+  for (std::size_t r = 0; r < kBlockRows; ++r) {
+    ASSERT_EQ(out[r], (va[r] - vb[r]) & mask) << "row " << r;
+    // Borrow flag: 1 iff a >= b.
+    ASSERT_EQ(f.blk.column(d.no_borrow).get(r), va[r] >= vb[r]) << "row " << r;
+  }
+}
+
+TEST_P(AddSubWidth, SubCyclesExactly7NPlus1) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const Operand a = f.exec.alloc(w);
+  const Operand b = f.exec.alloc(w);
+  f.exec.reset_stats();
+  const SubResult d = sub(f.exec, a, b, w);
+  (void)d;
+  EXPECT_EQ(f.exec.stats().cycles, sub_cycles(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, AddSubWidth,
+                         ::testing::Values(4u, 8u, 16u, 20u, 32u, 48u));
+
+class MultiplyWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MultiplyWidth, MatchesScalarAllRows) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const auto va = random_values(kBlockRows, w, 5000 + w);
+  const auto vb = random_values(kBlockRows, w, 6000 + w);
+  const Operand a = f.input(w, va);
+  const Operand b = f.input(w, vb);
+
+  const Operand prod = multiply(f.exec, a, b);
+  ASSERT_EQ(prod.width(), 2 * w);
+  const auto out = f.exec.host_read(prod);
+  for (std::size_t r = 0; r < kBlockRows; ++r) {
+    ASSERT_EQ(out[r], va[r] * vb[r]) << "row " << r;
+  }
+}
+
+TEST_P(MultiplyWidth, CyclesTrackPaperFormula) {
+  const unsigned w = GetParam();
+  if (w < 16) {
+    // The paper's quadratic fit has a large negative linear term; below the
+    // datapath widths it actually uses (16/32) fixed overheads dominate and
+    // the formula is not meaningful.
+    GTEST_SKIP();
+  }
+  Fixture f;
+  const Operand a = f.exec.alloc(w);
+  const Operand b = f.exec.alloc(w);
+  f.exec.reset_stats();
+  const Operand prod = multiply(f.exec, a, b);
+  (void)prod;
+  const double measured = static_cast<double>(f.exec.stats().cycles);
+  const double paper = static_cast<double>(mult_cycles(w));
+  // Our generic carry-save multiplier vs the paper's hand-tuned microcode:
+  // the gap shrinks with width (see EXPERIMENTS.md).
+  EXPECT_GE(measured / paper, 0.85) << "measured " << measured;
+  EXPECT_LE(measured / paper, 1.20) << "measured " << measured;
+}
+
+TEST_P(MultiplyWidth, ColumnsAreRecycled) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const Operand a = f.exec.alloc(w);
+  const Operand b = f.exec.alloc(w);
+  const std::size_t before = f.exec.free_count();
+  const Operand prod = multiply(f.exec, a, b);
+  f.exec.free(prod);
+  EXPECT_EQ(f.exec.free_count(), before);  // no leaked temp columns
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, MultiplyWidth,
+                         ::testing::Values(4u, 8u, 16u, 24u, 32u));
+
+TEST(Multiply, EdgeValues) {
+  Fixture f(4);
+  const std::vector<std::uint64_t> va = {0, 0xFFFF, 1, 0x8000};
+  const std::vector<std::uint64_t> vb = {12345, 0xFFFF, 1, 2};
+  const Operand a = f.input(16, va);
+  const Operand b = f.input(16, vb);
+  const Operand prod = multiply(f.exec, a, b);
+  const auto out = f.exec.host_read(prod);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_EQ(out[r], va[r] * vb[r]);
+}
+
+TEST(Multiply, AsymmetricWidths) {
+  Fixture f(8);
+  const auto va = random_values(8, 20, 77);
+  const auto vb = random_values(8, 6, 78);
+  const Operand a = f.input(20, va);
+  const Operand b = f.input(6, vb);
+  const Operand prod = multiply(f.exec, a, b);
+  ASSERT_EQ(prod.width(), 26u);
+  const auto out = f.exec.host_read(prod);
+  for (std::size_t r = 0; r < 8; ++r) EXPECT_EQ(out[r], va[r] * vb[r]);
+}
+
+class Baseline35Width : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Baseline35Width, MatchesScalarAllRows) {
+  const unsigned w = GetParam();
+  Fixture f;
+  const auto va = random_values(kBlockRows, w, 7000 + w);
+  const auto vb = random_values(kBlockRows, w, 8000 + w);
+  const Operand a = f.input(w, va);
+  const Operand b = f.input(w, vb);
+  const Operand prod = multiply_baseline35(f.exec, a, b);
+  ASSERT_EQ(prod.width(), 2 * w);
+  const auto out = f.exec.host_read(prod);
+  for (std::size_t r = 0; r < kBlockRows; ++r) {
+    ASSERT_EQ(out[r], va[r] * vb[r]) << "row " << r;
+  }
+}
+
+TEST_P(Baseline35Width, CyclesTrackHajAliFormula) {
+  const unsigned w = GetParam();
+  if (w < 16) GTEST_SKIP();
+  Fixture f;
+  const Operand a = f.exec.alloc(w);
+  const Operand b = f.exec.alloc(w);
+  f.exec.reset_stats();
+  const Operand prod = multiply_baseline35(f.exec, a, b);
+  (void)prod;
+  const double ratio = static_cast<double>(f.exec.stats().cycles) /
+                       static_cast<double>(mult_cycles_baseline(w));
+  EXPECT_GT(ratio, 0.80);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST_P(Baseline35Width, SlowerThanCryptoPimMultiplier) {
+  // The BP-1 -> BP-2 gap of Fig. 6 at the circuit level.
+  const unsigned w = GetParam();
+  if (w < 16) GTEST_SKIP();
+  std::uint64_t base = 0, cp = 0;
+  {
+    Fixture f;
+    const Operand a = f.exec.alloc(w), b = f.exec.alloc(w);
+    f.exec.reset_stats();
+    (void)multiply_baseline35(f.exec, a, b);
+    base = f.exec.stats().cycles;
+  }
+  {
+    Fixture f;
+    const Operand a = f.exec.alloc(w), b = f.exec.alloc(w);
+    f.exec.reset_stats();
+    (void)multiply(f.exec, a, b);
+    cp = f.exec.stats().cycles;
+  }
+  EXPECT_GT(static_cast<double>(base) / cp, 1.4) << "w=" << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWidths, Baseline35Width,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+TEST(AddTrimmed, MatchesScalarWithShiftedViews) {
+  Fixture f;
+  const auto va = random_values(kBlockRows, 12, 88);
+  const Operand a = f.input(12, va);
+  // a + (a << 3) = 9a, mostly rail bits in the shifted view.
+  const Operand sh = f.exec.shifted(a, 3);
+  const Operand r = add_trimmed(f.exec, sh, a, 16);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], (9 * va[i]) & 0xFFFF);
+  }
+}
+
+TEST(AddTrimmed, CheaperThanUniformAdd) {
+  Fixture f;
+  const Operand a = f.exec.alloc(12);
+  const Operand sh = f.exec.shifted(a, 6);
+  f.exec.reset_stats();
+  const Operand r = add_trimmed(f.exec, sh, a, 18);
+  (void)r;
+  const auto trimmed = f.exec.stats().cycles;
+  EXPECT_LT(trimmed, add_cycles(18));
+}
+
+TEST(SubTrimmed, MatchesScalar) {
+  Fixture f;
+  const auto va = random_values(kBlockRows, 14, 99);
+  const Operand a = f.input(14, va);
+  // (a << 4) - a = 15a, always non-negative.
+  const Operand sh = f.exec.shifted(a, 4);
+  const Operand r = sub_trimmed(f.exec, sh, a, 18);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], 15 * va[i]);
+  }
+}
+
+TEST(ShiftAddChain, EvaluatesPaperConstants) {
+  // 12289 = 2^13 + 2^12 + 1 applied to random 2-bit u (the Barrett path).
+  Fixture f;
+  const std::vector<ShiftAddTerm> terms = {{13, +1}, {12, +1}, {0, +1}};
+  const auto vu = random_values(kBlockRows, 2, 123);
+  const Operand u = f.input(2, vu);
+  const Operand uq = shift_add_chain(f.exec, u, terms, 16);
+  const auto out = f.exec.host_read(uq);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], (vu[i] * 12289) & 0xFFFF);
+  }
+}
+
+TEST(ShiftAddChain, NegativeTerms) {
+  // 7681 = 2^13 - 2^9 + 1.
+  Fixture f;
+  const std::vector<ShiftAddTerm> terms = {{13, +1}, {9, -1}, {0, +1}};
+  const auto vu = random_values(kBlockRows, 3, 321);
+  const Operand u = f.input(3, vu);
+  const Operand uq = shift_add_chain(f.exec, u, terms, 17);
+  const auto out = f.exec.host_read(uq);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], vu[i] * 7681);
+  }
+}
+
+TEST(ShiftAddChain, WrapsModuloOutWidth) {
+  // Montgomery m-computation relies on mod-2^w truncation.
+  Fixture f;
+  const std::vector<ShiftAddTerm> terms = {{13, +1}, {12, +1}, {0, -1}};
+  const auto va = random_values(kBlockRows, 15, 555);
+  const Operand a = f.input(15, va);
+  const Operand m = shift_add_chain(f.exec, a, terms, 18);
+  const auto out = f.exec.host_read(m);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], (va[i] * 12287) & ((1u << 18) - 1));
+  }
+}
+
+TEST(ConditionalSubtract, SelectsPerRow) {
+  Fixture f(6);
+  const std::uint64_t q = 7681;
+  const std::vector<std::uint64_t> va = {0, 7680, 7681, 7682, 15361, 10000};
+  const Operand a = f.input(14, va);
+  const Operand r = conditional_subtract(f.exec, a, q);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    ASSERT_EQ(out[i], va[i] >= q ? va[i] - q : va[i]) << "row " << i;
+  }
+}
+
+TEST(Mux, BitwiseSelect) {
+  Fixture f(4);
+  const std::vector<std::uint64_t> vx = {1, 2, 3, 4};
+  const std::vector<std::uint64_t> vy = {10, 20, 30, 40};
+  const Operand x = f.input(8, vx);
+  const Operand y = f.input(8, vy);
+  const Col sel = f.exec.alloc_col();
+  f.blk.column(sel).set(0, true);
+  f.blk.column(sel).set(2, true);
+  const Operand m = mux(f.exec, sel, x, y);
+  const auto out = f.exec.host_read(m);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 20, 3, 40}));
+}
+
+TEST(CycleFormulas, PaperValues) {
+  // Anchor the analytic constants quoted in the paper text.
+  EXPECT_EQ(add_cycles(16), 97u);
+  EXPECT_EQ(sub_cycles(16), 113u);
+  EXPECT_EQ(mult_cycles(16), 1483u);   // 6.5*256 - 11.5*16 + 3
+  EXPECT_EQ(mult_cycles(32), 6291u);   // 6.5*1024 - 11.5*32 + 3
+  EXPECT_EQ(mult_cycles_baseline(16), 3110u);  // 13*256 - 14*16 + 6
+  EXPECT_EQ(mult_cycles_baseline(32), 12870u);
+}
+
+}  // namespace
+}  // namespace cryptopim::pim::circuits

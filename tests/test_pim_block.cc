@@ -1,0 +1,197 @@
+// Tests for the crossbar block, row masks, executor column allocation and
+// gate micro-op semantics (src/pim/block.*, executor.*, isa.h).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pim/block.h"
+#include "pim/executor.h"
+
+namespace cryptopim::pim {
+namespace {
+
+TEST(MemoryBlock, NumberRoundTripMsbFirst) {
+  MemoryBlock blk;
+  blk.write_number(3, 10, 16, 0xBEEF);
+  EXPECT_EQ(blk.read_number(3, 10, 16), 0xBEEFu);
+  // MSB-first: the most significant bit sits in the lowest column.
+  EXPECT_TRUE(blk.column(10).get(3));   // 0xBEEF bit 15 = 1
+  EXPECT_TRUE(blk.column(25).get(3));   // bit 0 = 1
+  EXPECT_FALSE(blk.column(11).get(3));  // bit 14 = 0
+}
+
+TEST(MemoryBlock, RowsAreIndependent) {
+  MemoryBlock blk;
+  blk.write_number(0, 0, 8, 0xAA);
+  blk.write_number(1, 0, 8, 0x55);
+  EXPECT_EQ(blk.read_number(0, 0, 8), 0xAAu);
+  EXPECT_EQ(blk.read_number(1, 0, 8), 0x55u);
+}
+
+TEST(MemoryBlock, ClearResetsEverything) {
+  MemoryBlock blk;
+  blk.write_number(100, 100, 32, 0xDEADBEEF);
+  blk.clear();
+  EXPECT_EQ(blk.read_number(100, 100, 32), 0u);
+}
+
+TEST(RowMask, FirstRowsAndCount) {
+  EXPECT_EQ(RowMask::first_rows(0).count(), 0u);
+  EXPECT_EQ(RowMask::first_rows(17).count(), 17u);
+  EXPECT_EQ(RowMask::first_rows(64).count(), 64u);
+  EXPECT_EQ(RowMask::first_rows(100).count(), 100u);
+  EXPECT_EQ(RowMask::all().count(), kBlockRows);
+  const RowMask m = RowMask::first_rows(70);
+  EXPECT_TRUE(m.get(0));
+  EXPECT_TRUE(m.get(69));
+  EXPECT_FALSE(m.get(70));
+}
+
+TEST(Executor, ConstantRailsAfterInit) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::all());
+  for (std::size_t r = 0; r < kBlockRows; r += 73) {
+    EXPECT_FALSE(blk.column(exec.zero_col()).get(r));
+    EXPECT_TRUE(blk.column(exec.one_col()).get(r));
+  }
+  // Only the one-rail SET was charged.
+  EXPECT_EQ(exec.stats().cycles, 1u);
+}
+
+TEST(Executor, GateSemanticsOverMask) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(4));
+  const Col a = exec.alloc_col();
+  const Col b = exec.alloc_col();
+  const Col d = exec.alloc_col();
+  // rows: a = 0,0,1,1 ; b = 0,1,0,1
+  blk.column(a).set(2, true);
+  blk.column(a).set(3, true);
+  blk.column(b).set(1, true);
+  blk.column(b).set(3, true);
+
+  exec.gate2(GateKind::kNor, d, a, b);
+  EXPECT_TRUE(blk.column(d).get(0));
+  EXPECT_FALSE(blk.column(d).get(1));
+  EXPECT_FALSE(blk.column(d).get(2));
+  EXPECT_FALSE(blk.column(d).get(3));
+
+  exec.gate2(GateKind::kXor2, d, a, b);
+  EXPECT_FALSE(blk.column(d).get(0));
+  EXPECT_TRUE(blk.column(d).get(1));
+  EXPECT_TRUE(blk.column(d).get(2));
+  EXPECT_FALSE(blk.column(d).get(3));
+
+  // Inactive rows must be untouched.
+  exec.gate1(GateKind::kNot, d, a);
+  EXPECT_FALSE(blk.column(d).get(5));
+}
+
+TEST(Executor, InputPolarityFlags) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(2));
+  const Col a = exec.alloc_col();
+  const Col d = exec.alloc_col();
+  blk.column(a).set(0, true);  // a = 1, 0
+  exec.gate2(GateKind::kOr, d, a, exec.zero_col(), /*neg_a=*/true);
+  EXPECT_FALSE(blk.column(d).get(0));
+  EXPECT_TRUE(blk.column(d).get(1));
+}
+
+TEST(Executor, GateCycleCosts) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(8));
+  exec.reset_stats();
+  const Col a = exec.alloc_col();
+  const Col d = exec.alloc_col();
+  exec.gate1(GateKind::kNot, d, a);
+  EXPECT_EQ(exec.stats().cycles, 1u);
+  exec.gate2(GateKind::kXor2, d, a, a);
+  EXPECT_EQ(exec.stats().cycles, 3u);
+  exec.gate3(GateKind::kXor3, d, a, a, a);
+  EXPECT_EQ(exec.stats().cycles, 6u);
+  exec.gate3(GateKind::kMaj3, d, a, a, a);
+  EXPECT_EQ(exec.stats().cycles, 8u);
+  exec.gate3(GateKind::kMux, d, a, a, a);
+  EXPECT_EQ(exec.stats().cycles, 11u);
+  // Cell events scale with active rows.
+  EXPECT_EQ(exec.stats().cell_events, 11u * 8u);
+}
+
+TEST(Executor, AllocateFreeRecycles) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::all());
+  const std::size_t before = exec.free_count();
+  const Operand op = exec.alloc(32);
+  EXPECT_EQ(exec.free_count(), before - 32);
+  exec.free(op);
+  EXPECT_EQ(exec.free_count(), before);
+}
+
+TEST(Executor, RefcountSharing) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::all());
+  const std::size_t before = exec.free_count();
+  const Col c = exec.alloc_col();
+  exec.retain_col(c);
+  exec.free_col(c);
+  EXPECT_EQ(exec.free_count(), before - 1);  // still held by second owner
+  exec.free_col(c);
+  EXPECT_EQ(exec.free_count(), before);
+}
+
+TEST(Executor, ReservedRegionIsStickyAndUnallocatable) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::all());
+  exec.reserve_region(100, 16);
+  // free/retain on reserved columns are no-ops.
+  exec.free_col(100);
+  exec.retain_col(115);
+  // Allocation never hands out reserved columns.
+  std::vector<Col> got;
+  for (int i = 0; i < 300; ++i) got.push_back(exec.alloc_col());
+  for (Col c : got) {
+    EXPECT_TRUE(c < 100 || c >= 116);
+  }
+}
+
+TEST(Executor, ExhaustionThrows) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::all());
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i <= kBlockCols; ++i) exec.alloc_col();
+      },
+      std::runtime_error);
+}
+
+TEST(Executor, HostIoRoundTrip) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(5));
+  const Operand op = exec.alloc(16);
+  const std::vector<std::uint64_t> vals = {1, 2, 3, 65535, 12345};
+  exec.host_write(op, vals);
+  EXPECT_EQ(exec.host_read(op), vals);
+}
+
+TEST(Executor, ShiftedViewMultipliesByPowerOfTwo) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(1));
+  const Operand op = exec.alloc(8);
+  exec.host_write(op, std::vector<std::uint64_t>{0x5A});
+  const Operand sh = exec.shifted(op, 4);
+  EXPECT_EQ(sh.width(), 12u);
+  EXPECT_EQ(exec.host_read(sh)[0], 0x5A0u);
+}
+
+TEST(Executor, ConstantOperandIsRailAlias) {
+  MemoryBlock blk;
+  BlockExecutor exec(blk, RowMask::first_rows(3));
+  exec.reset_stats();
+  const Operand c = exec.constant(0b1011, 6);
+  EXPECT_EQ(exec.stats().cycles, 0u);  // zero-cost
+  const auto vals = exec.host_read(c);
+  for (const auto v : vals) EXPECT_EQ(v, 0b1011u);
+}
+
+}  // namespace
+}  // namespace cryptopim::pim

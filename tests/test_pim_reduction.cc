@@ -1,0 +1,234 @@
+// Tests for the in-memory modular reduction circuits
+// (src/pim/circuits/reduction.*): functional equivalence with the scalar
+// shift-add reductions over random row-parallel inputs, and cycle counts
+// in the neighbourhood of the paper's Table I.
+#include "pim/circuits/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::pim::circuits {
+namespace {
+
+constexpr std::uint32_t kPaperModuli[] = {7681, 12289, 786433};
+
+struct Fixture {
+  MemoryBlock blk;
+  BlockExecutor exec;
+  explicit Fixture() : exec(blk, RowMask::all()) { exec.reset_stats(); }
+};
+
+std::vector<std::uint64_t> random_below(std::size_t n, std::uint64_t bound,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(bound);
+  return v;
+}
+
+class BarrettCircuit : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BarrettCircuit, LazyMatchesScalarAfterAddition) {
+  const std::uint32_t q = GetParam();
+  const auto spec = ntt::BarrettShiftAdd::paper_spec(q);
+  Fixture f;
+  // Post-addition domain: a < 2q.
+  const auto va = random_below(kBlockRows, 2ull * q, q);
+  const unsigned w = bit_length(2ull * q - 1);
+  Operand a = f.exec.alloc(w);
+  f.exec.host_write(a, va);
+
+  Operand r = barrett_reduce(f.exec, a, spec, /*canonical=*/false);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], spec.reduce(va[i])) << "row " << i;
+    ASSERT_LT(out[i], 2ull * q);
+  }
+}
+
+TEST_P(BarrettCircuit, CanonicalMatchesModQ) {
+  const std::uint32_t q = GetParam();
+  const auto spec = ntt::BarrettShiftAdd::paper_spec(q);
+  Fixture f;
+  const auto va = random_below(kBlockRows, 2ull * q, q + 1);
+  const unsigned w = bit_length(2ull * q - 1);
+  Operand a = f.exec.alloc(w);
+  f.exec.host_write(a, va);
+
+  Operand r = barrett_reduce(f.exec, a, spec, /*canonical=*/true);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], va[i] % q) << "row " << i;
+  }
+}
+
+TEST_P(BarrettCircuit, NoColumnLeaks) {
+  const std::uint32_t q = GetParam();
+  const auto spec = ntt::BarrettShiftAdd::paper_spec(q);
+  Fixture f;
+  const unsigned w = bit_length(2ull * q - 1);
+  Operand a = f.exec.alloc(w);
+  const std::size_t before = f.exec.free_count();
+  Operand r = barrett_reduce(f.exec, a, spec, true);
+  f.exec.free(r);
+  EXPECT_EQ(f.exec.free_count(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModuli, BarrettCircuit,
+                         ::testing::ValuesIn(kPaperModuli));
+
+class MontgomeryCircuit : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MontgomeryCircuit, LazyMatchesScalarAfterMultiplication) {
+  const std::uint32_t q = GetParam();
+  const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+  Fixture f;
+  // Post-multiplication domain: products of values < 2q (lazy butterfly).
+  Xoshiro256 rng(q + 3);
+  std::vector<std::uint64_t> va(kBlockRows);
+  for (auto& x : va) x = rng.next_below(2ull * q) * rng.next_below(q);
+  const unsigned w = bit_length(2ull * q - 1) + bit_length(q - 1);
+  Operand a = f.exec.alloc(w);
+  f.exec.host_write(a, va);
+
+  Operand r = montgomery_reduce(f.exec, a, spec, /*canonical=*/false);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], spec.reduce(va[i])) << "row " << i;
+  }
+}
+
+TEST_P(MontgomeryCircuit, CanonicalIsTimesRInverse) {
+  const std::uint32_t q = GetParam();
+  const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+  Fixture f;
+  Xoshiro256 rng(q + 7);
+  std::vector<std::uint64_t> va(kBlockRows);
+  for (auto& x : va) x = rng.next_below(q) * rng.next_below(q);
+  const unsigned w = 2 * bit_length(q - 1);
+  Operand a = f.exec.alloc(w);
+  f.exec.host_write(a, va);
+
+  Operand r = montgomery_reduce(f.exec, a, spec, /*canonical=*/true);
+  const auto out = f.exec.host_read(r);
+  const auto r_mod_q = static_cast<std::uint32_t>(spec.R() % q);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    // out * R ≡ a (mod q)
+    ASSERT_EQ(ntt::mul_mod(static_cast<std::uint32_t>(out[i]), r_mod_q, q),
+              va[i] % q)
+        << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModuli, MontgomeryCircuit,
+                         ::testing::ValuesIn(kPaperModuli));
+
+TEST(ReductionCycles, SameBallparkAsTableI) {
+  // Table I (lazy reductions): Barrett 239 @12289, 429 @786433;
+  // Montgomery 683 / 461 / 1083. Our reconstruction of the width-trimmed
+  // micro-code is not the authors' exact schedule, so we assert the same
+  // order of magnitude and the same orderings rather than equality; the
+  // bench prints the side-by-side numbers.
+  struct Entry {
+    std::uint32_t q;
+    std::uint64_t barrett, montgomery;
+  };
+  std::vector<Entry> measured;
+  for (std::uint32_t q : kPaperModuli) {
+    Entry e{q, 0, 0};
+    {
+      Fixture f;
+      Operand a = f.exec.alloc(bit_length(2ull * q - 1));
+      f.exec.reset_stats();
+      Operand r = barrett_reduce(
+          f.exec, a, ntt::BarrettShiftAdd::paper_spec(q), false);
+      (void)r;
+      e.barrett = f.exec.stats().cycles;
+    }
+    {
+      Fixture f;
+      const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+      Operand a =
+          f.exec.alloc(bit_length(2ull * q - 1) + bit_length(q - 1));
+      f.exec.reset_stats();
+      Operand r = montgomery_reduce(f.exec, a, spec, false);
+      (void)r;
+      e.montgomery = f.exec.stats().cycles;
+    }
+    measured.push_back(e);
+  }
+  // Barrett is always cheaper than Montgomery for the same q (narrower
+  // inputs, shorter chain) — as in Table I.
+  for (const auto& e : measured) {
+    EXPECT_LT(e.barrett, e.montgomery) << "q=" << e.q;
+  }
+  // The 32-bit modulus costs the most on the Montgomery row (wide product
+  // inputs), as in Table I. Our trimmed Barrett exploits that u is a
+  // single bit for q=786433 with post-addition inputs, so the Barrett row
+  // ordering differs from the paper's (which charges the general width);
+  // the bench prints both side by side.
+  EXPECT_GT(measured[2].montgomery, measured[0].montgomery);
+  EXPECT_GT(measured[2].montgomery, measured[1].montgomery);
+  // Order of magnitude vs Table I: our reconstruction trims harder than
+  // the paper in places, never the reverse by more than ~25%.
+  const double paper_barrett[] = {0, 239, 429};  // 7681 entry not printed
+  const double paper_mont[] = {683, 461, 1083};
+  for (int i = 0; i < 3; ++i) {
+    if (paper_barrett[i] > 0) {
+      const double ratio =
+          static_cast<double>(measured[i].barrett) / paper_barrett[i];
+      EXPECT_GT(ratio, 0.1) << "q=" << measured[i].q;
+      EXPECT_LT(ratio, 1.25) << "q=" << measured[i].q;
+    }
+    const double ratio =
+        static_cast<double>(measured[i].montgomery) / paper_mont[i];
+    EXPECT_GT(ratio, 0.2) << "q=" << measured[i].q;
+    EXPECT_LT(ratio, 1.25) << "q=" << measured[i].q;
+  }
+}
+
+TEST(BarrettByMultiplication, MatchesModQ) {
+  Fixture f;
+  const std::uint32_t q = 7681;
+  Xoshiro256 rng(77);
+  std::vector<std::uint64_t> va(kBlockRows);
+  for (auto& x : va) x = rng.next_below(static_cast<std::uint64_t>(q) * q);
+  Operand a = f.exec.alloc(26);
+  f.exec.host_write(a, va);
+  Operand r = barrett_reduce_by_multiplication(f.exec, a, q, true);
+  const auto out = f.exec.host_read(r);
+  for (std::size_t i = 0; i < kBlockRows; ++i) {
+    ASSERT_EQ(out[i], va[i] % q) << "row " << i;
+  }
+}
+
+TEST(BarrettByMultiplication, FarSlowerThanShiftAdd) {
+  // The Fig. 6 BP-2 -> BP-3 gap: multiplication-based reduction loses by
+  // a large factor.
+  const std::uint32_t q = 12289;
+  std::uint64_t cycles_mult = 0;
+  std::uint64_t cycles_shift = 0;
+  {
+    Fixture f;
+    Operand a = f.exec.alloc(28);
+    f.exec.reset_stats();
+    Operand r = barrett_reduce_by_multiplication(f.exec, a, q, false);
+    (void)r;
+    cycles_mult = f.exec.stats().cycles;
+  }
+  {
+    Fixture f;
+    const auto spec = ntt::MontgomeryShiftAdd::paper_spec(q);
+    Operand a = f.exec.alloc(28);
+    f.exec.reset_stats();
+    Operand r = montgomery_reduce(f.exec, a, spec, false);
+    (void)r;
+    cycles_shift = f.exec.stats().cycles;
+  }
+  EXPECT_GT(static_cast<double>(cycles_mult) / cycles_shift, 3.0);
+}
+
+}  // namespace
+}  // namespace cryptopim::pim::circuits

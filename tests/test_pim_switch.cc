@@ -1,0 +1,119 @@
+// Tests for the fixed-function inter-block switch (src/pim/switch.*) and
+// the RRAM device model / Monte-Carlo robustness sweep (src/pim/device.*).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pim/device.h"
+#include "pim/switch.h"
+
+namespace cryptopim::pim {
+namespace {
+
+TEST(FixedFunctionSwitch, StraightRoutePreservesRows) {
+  MemoryBlock src, dst;
+  BlockExecutor sexec(src, RowMask::first_rows(8));
+  BlockExecutor dexec(dst, RowMask::first_rows(8));
+  const Operand so = sexec.alloc(16);
+  const Operand dop = dexec.alloc(16);
+  std::vector<std::uint64_t> vals = {1, 2, 3, 4, 5, 6, 7, 8};
+  sexec.host_write(so, vals);
+
+  FixedFunctionSwitch sw(4);
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kStraight);
+  EXPECT_EQ(dexec.host_read(dop), vals);
+}
+
+TEST(FixedFunctionSwitch, PlusAndMinusRoutes) {
+  MemoryBlock src, dst;
+  BlockExecutor sexec(src, RowMask::first_rows(8));
+  BlockExecutor dexec(dst, RowMask::all());
+  const Operand so = sexec.alloc(8);
+  const Operand dop = dexec.alloc(8);
+  std::vector<std::uint64_t> vals = {10, 20, 30, 40, 50, 60, 70, 80};
+  sexec.host_write(so, vals);
+
+  FixedFunctionSwitch sw(2);
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kPlusS);
+  // Row r of src lands in row r+2 of dst.
+  const auto all = dexec.host_read(dop);
+  for (std::size_t r = 0; r < 8; ++r) EXPECT_EQ(all[r + 2], vals[r]);
+
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kMinusS);
+  const auto all2 = dexec.host_read(dop);
+  // Rows 0,1 of src would land at -2/-1: dropped. Row 2 -> row 0.
+  for (std::size_t r = 2; r < 8; ++r) EXPECT_EQ(all2[r - 2], vals[r]);
+}
+
+TEST(FixedFunctionSwitch, TransferCostIsWidthCyclesPerRoute) {
+  MemoryBlock src, dst;
+  BlockExecutor sexec(src, RowMask::first_rows(4));
+  BlockExecutor dexec(dst, RowMask::first_rows(4));
+  const Operand so = sexec.alloc(16);
+  const Operand dop = dexec.alloc(16);
+  dexec.reset_stats();
+  FixedFunctionSwitch sw(1);
+  // The paper: "transferring data between two blocks in NTT requires only
+  // 3*bitwidth cycles, one each for A-to-A, A-to-(A+s), and A-to-(A-s)".
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kStraight);
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kPlusS);
+  sw.transfer(src, so, sexec.mask(), dexec, dop,
+              FixedFunctionSwitch::Route::kMinusS);
+  EXPECT_EQ(dexec.stats().cycles, 3u * 16u);
+}
+
+TEST(FixedFunctionSwitch, LogicCostIndependentOfPortCount) {
+  EXPECT_EQ(FixedFunctionSwitch::logic_per_row(), 3u);
+  // A crossbar needs per-row logic proportional to the row count.
+  EXPECT_EQ(FixedFunctionSwitch::crossbar_logic_per_row(512), 512u);
+}
+
+TEST(DeviceModel, PaperParameters) {
+  const auto dev = DeviceModel::paper_45nm();
+  EXPECT_DOUBLE_EQ(dev.cycle_ns, 1.1);
+  EXPECT_GT(dev.r_off_ohm / dev.r_on_ohm, 100.0);  // high Roff/Ron
+}
+
+TEST(DeviceModel, MonteCarloNoiseMargin) {
+  // Section IV-A: 5000 trials, 10% variation, max 25.6% margin reduction,
+  // still functional. Our resistive-divider model with the same knobs must
+  // show a bounded, non-fatal degradation.
+  const auto dev = DeviceModel::paper_45nm();
+  Xoshiro256 rng(2020);
+  const auto res = monte_carlo_noise_margin(dev, 5000, 0.10, rng);
+  EXPECT_GT(res.nominal_margin, 0.0);
+  EXPECT_GT(res.max_reduction_pct, 0.0);
+  EXPECT_LT(res.max_reduction_pct, 30.0);
+  EXPECT_TRUE(res.functional);
+}
+
+TEST(DeviceModel, HigherVariationDegradesMore) {
+  const auto dev = DeviceModel::paper_45nm();
+  Xoshiro256 rng1(1), rng2(1);
+  const auto low = monte_carlo_noise_margin(dev, 2000, 0.05, rng1);
+  const auto high = monte_carlo_noise_margin(dev, 2000, 0.30, rng2);
+  EXPECT_LT(low.max_reduction_pct, high.max_reduction_pct);
+}
+
+TEST(ExecStats, EnergyAccounting) {
+  const auto dev = DeviceModel::paper_45nm();
+  ExecStats s;
+  s.cell_events = 1000;
+  s.transfer_bits = 100;
+  const double e = s.energy_fj(dev);
+  EXPECT_DOUBLE_EQ(e, 1000 * dev.cell_switch_energy_fj +
+                          100 * dev.switch_transfer_energy_fj);
+  ExecStats t;
+  t.cycles = 5;
+  t.cell_events = 1;
+  s += t;
+  EXPECT_EQ(s.cycles, 5u);
+  EXPECT_EQ(s.cell_events, 1001u);
+}
+
+}  // namespace
+}  // namespace cryptopim::pim

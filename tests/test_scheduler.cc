@@ -1,0 +1,111 @@
+// Tests for the chip-level scheduler (src/model/scheduler.*): the
+// configurable architecture's superbank partitioning applied to streams of
+// mixed-degree multiplications.
+#include "model/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace cryptopim::model {
+namespace {
+
+TEST(Scheduler, EmptyListIsEmptySchedule) {
+  const ChipScheduler sched;
+  const auto res = sched.schedule({});
+  EXPECT_TRUE(res.batches.empty());
+  EXPECT_EQ(res.makespan_us, 0.0);
+  EXPECT_EQ(res.total_multiplications, 0u);
+}
+
+TEST(Scheduler, SingleJobCostsOneFill) {
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{1024, 1}};
+  const auto res = sched.schedule(jobs);
+  ASSERT_EQ(res.batches.size(), 1u);
+  const auto perf = cryptopim_pipelined(1024);
+  EXPECT_DOUBLE_EQ(res.makespan_us, perf.latency_us);
+  EXPECT_EQ(res.repartitions, 0u);
+}
+
+TEST(Scheduler, SteadyStateApproachesAggregateThroughput) {
+  // A long stream of small multiplications should approach
+  // superbanks * per-pipeline throughput.
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{256, 1000000}};
+  const auto res = sched.schedule(jobs);
+  const auto perf = cryptopim_pipelined(256);
+  const double ideal = perf.throughput_per_s * 64;  // 64 superbanks at 256
+  EXPECT_GT(res.throughput_per_s, 0.95 * ideal);
+  EXPECT_LE(res.throughput_per_s, ideal);
+  EXPECT_GT(res.utilization, 0.9);
+  EXPECT_LE(res.utilization, 1.0 + 1e-9);
+}
+
+TEST(Scheduler, FewJobsLeaveBanksIdle) {
+  // 3 multiplications on a 64-superbank partition: utilization reflects
+  // the 61 idle pipelines.
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{256, 3}};
+  const auto res = sched.schedule(jobs);
+  EXPECT_LT(res.utilization, 0.1);
+}
+
+TEST(Scheduler, MixedDegreesRepartition) {
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{256, 100}, {32768, 5}, {2048, 50}};
+  const auto res = sched.schedule(jobs);
+  ASSERT_EQ(res.batches.size(), 3u);
+  // Largest degree scheduled first.
+  EXPECT_EQ(res.batches[0].degree, 32768u);
+  EXPECT_EQ(res.batches[2].degree, 256u);
+  EXPECT_EQ(res.repartitions, 2u);
+  EXPECT_EQ(res.total_multiplications, 155u);
+  // Makespan is the sum of batch durations (sequential partitions).
+  double sum = 0;
+  for (const auto& b : res.batches) sum += b.duration_us;
+  EXPECT_DOUBLE_EQ(res.makespan_us, sum);
+}
+
+TEST(Scheduler, DuplicateDegreesCoalesce) {
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{512, 10}, {512, 20}, {512, 0}};
+  const auto res = sched.schedule(jobs);
+  ASSERT_EQ(res.batches.size(), 1u);
+  EXPECT_EQ(res.batches[0].multiplications, 30u);
+}
+
+TEST(Scheduler, AboveDesignPointUsesSegments) {
+  const ChipScheduler sched;
+  const std::vector<Job> jobs = {{131072, 4}};  // 4 x 32k segments each
+  const auto res = sched.schedule(jobs);
+  ASSERT_EQ(res.batches.size(), 1u);
+  EXPECT_EQ(res.batches[0].segments, 4u);
+  // 4 jobs x 4 segments = 16 beats on a single superbank.
+  const auto perf = cryptopim_pipelined(32768);
+  const double expected =
+      perf.latency_us + 15 * (1e6 / perf.throughput_per_s);
+  EXPECT_NEAR(res.makespan_us, expected, 1e-6);
+}
+
+TEST(Scheduler, RepartitionOverheadCharged) {
+  const ChipScheduler with_cost(arch::ChipConfig::paper_chip(),
+                                /*repartition_us=*/5.0);
+  const ChipScheduler free_cost;
+  const std::vector<Job> jobs = {{256, 1}, {512, 1}, {1024, 1}};
+  const auto a = with_cost.schedule(jobs);
+  const auto b = free_cost.schedule(jobs);
+  EXPECT_NEAR(a.makespan_us - b.makespan_us, 10.0, 1e-9);  // 2 repartitions
+}
+
+TEST(Scheduler, MoreJobsNeverShortenTheMakespan) {
+  const ChipScheduler sched;
+  double prev = 0;
+  for (const std::uint64_t count : {1ull, 10ull, 100ull, 1000ull}) {
+    const std::vector<Job> jobs = {{4096, count}};
+    const auto res = sched.schedule(jobs);
+    EXPECT_GE(res.makespan_us, prev);
+    prev = res.makespan_us;
+  }
+}
+
+}  // namespace
+}  // namespace cryptopim::model

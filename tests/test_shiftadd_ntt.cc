@@ -1,0 +1,72 @@
+// Tests for the shift-add-only NTT multiplier (src/ntt/shiftadd_ntt.*) —
+// the software mirror of the accelerator datapath. It must agree with the
+// generic-arithmetic engine bit-for-bit on every paper parameter set.
+#include "ntt/shiftadd_ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ntt/modular.h"
+
+namespace cryptopim::ntt {
+namespace {
+
+class ShiftAddNtt : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShiftAddNtt, MatchesGenericEngine) {
+  const std::uint32_t n = GetParam();
+  const auto p = NttParams::for_degree(n);
+  const ShiftAddNttMultiplier hw(p);
+  const GsNttEngine sw(p);
+  Xoshiro256 rng(n + 31);
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto a = sample_uniform(n, p.q, rng);
+    const auto b = sample_uniform(n, p.q, rng);
+    ASSERT_EQ(hw.negacyclic_multiply(a, b), sw.negacyclic_multiply(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDegrees, ShiftAddNtt,
+                         ::testing::Values(16u, 256u, 512u, 1024u, 2048u,
+                                           8192u));
+
+TEST(ShiftAddNttEdge, SparseAndExtremeInputs) {
+  const auto p = NttParams::for_degree(256);
+  const ShiftAddNttMultiplier hw(p);
+  const GsNttEngine sw(p);
+
+  // All-(q-1) inputs stress the lazy-reduction bounds hardest.
+  Poly max_poly(p.n, p.q - 1);
+  EXPECT_EQ(hw.negacyclic_multiply(max_poly, max_poly),
+            sw.negacyclic_multiply(max_poly, max_poly));
+
+  // Monomials exercise every twiddle path individually.
+  for (const std::uint32_t k : {0u, 1u, 127u, 255u}) {
+    Poly mono(p.n, 0);
+    mono[k] = p.q - 1;
+    EXPECT_EQ(hw.negacyclic_multiply(mono, max_poly),
+              sw.negacyclic_multiply(mono, max_poly))
+        << "k=" << k;
+  }
+
+  // Zero annihilates.
+  const Poly zero(p.n, 0);
+  EXPECT_EQ(hw.negacyclic_multiply(zero, max_poly), zero);
+}
+
+TEST(ShiftAddNttEdge, AllThreeModuli) {
+  // One run per modulus family so every Algorithm-3 branch is exercised.
+  for (const std::uint32_t n : {256u, 512u, 2048u}) {
+    const auto p = NttParams::for_degree(n);
+    const ShiftAddNttMultiplier hw(p);
+    const GsNttEngine sw(p);
+    Xoshiro256 rng(n);
+    const auto a = sample_uniform(n, p.q, rng);
+    const auto b = sample_uniform(n, p.q, rng);
+    EXPECT_EQ(hw.negacyclic_multiply(a, b), sw.negacyclic_multiply(a, b))
+        << "q=" << p.q;
+  }
+}
+
+}  // namespace
+}  // namespace cryptopim::ntt

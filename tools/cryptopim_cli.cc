@@ -1,0 +1,154 @@
+// cryptopim — command-line front end to the library.
+//
+//   cryptopim multiply --degree N [--seed S]   run one multiplication in
+//                                              simulated crossbars, verify,
+//                                              report cycles/energy
+//   cryptopim report [--degree N]              modelled hardware numbers
+//                                              (one degree or the Table II
+//                                              sweep)
+//   cryptopim schedule <deg:count>...          map a mixed workload onto
+//                                              the 128-bank chip
+//   cryptopim kem [--seed S]                   run a full KEM handshake on
+//                                              the accelerator
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/cryptopim.h"
+#include "crypto/kem.h"
+
+namespace cp = cryptopim;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  cryptopim multiply --degree N [--seed S]\n"
+         "  cryptopim report [--degree N]\n"
+         "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
+         "  cryptopim kem [--seed S]\n";
+  return 2;
+}
+
+std::uint64_t arg_u64(int argc, char** argv, const char* name,
+                      std::uint64_t fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::stoull(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+int cmd_multiply(int argc, char** argv) {
+  const auto n = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--degree", 256));
+  const auto seed = arg_u64(argc, argv, "--seed", 1);
+  cp::Accelerator acc(n);
+  const auto& p = acc.params();
+  cp::Xoshiro256 rng(seed);
+  const auto a = cp::ntt::sample_uniform(n, p.q, rng);
+  const auto b = cp::ntt::sample_uniform(n, p.q, rng);
+  const auto c = acc.multiply(a, b);
+  const bool ok = c == acc.multiply_software(a, b);
+  const auto& r = acc.last_report();
+  std::cout << "n=" << n << " q=" << p.q << " seed=" << seed << "\n"
+            << "result:   " << (ok ? "bit-exact vs software NTT" : "MISMATCH")
+            << "\ncycles:   " << cp::fmt_i(r.wall_cycles) << " ("
+            << cp::fmt_f(r.latency_us) << " us)\nenergy:   "
+            << cp::fmt_f(r.energy_uj) << " uJ\nstages:   " << r.stages
+            << "\nmicroops: " << cp::fmt_i(r.totals.micro_ops) << "\n";
+  return ok ? 0 : 1;
+}
+
+void report_row(cp::Table& t, std::uint32_t n) {
+  const auto perf = cp::model::cryptopim_pipelined(n);
+  const auto np = cp::model::cryptopim_non_pipelined(n);
+  const auto plan = cp::arch::ChipConfig::paper_chip().plan_for_degree(n);
+  t.add_row({std::to_string(n),
+             std::to_string(cp::ntt::paper_modulus_for_degree(n)),
+             cp::fmt_f(perf.latency_us), cp::fmt_f(np.latency_us),
+             cp::fmt_i(static_cast<std::uint64_t>(perf.throughput_per_s)),
+             cp::fmt_f(perf.energy_uj), std::to_string(plan.superbanks)});
+}
+
+int cmd_report(int argc, char** argv) {
+  const auto n = static_cast<std::uint32_t>(arg_u64(argc, argv, "--degree", 0));
+  cp::Table t({"n", "q", "P lat (us)", "NP lat (us)", "P thr (/s)",
+               "P energy (uJ)", "superbanks"});
+  if (n != 0) {
+    report_row(t, n);
+  } else {
+    for (const auto d : cp::ntt::paper_degrees()) report_row(t, d);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_schedule(int argc, char** argv) {
+  std::vector<cp::model::Job> jobs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string spec = argv[i];
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) return usage();
+    jobs.push_back(cp::model::Job{
+        static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
+        std::stoull(spec.substr(colon + 1))});
+  }
+  if (jobs.empty()) return usage();
+  const cp::model::ChipScheduler sched;
+  const auto res = sched.schedule(jobs);
+  cp::Table t({"degree", "mults", "superbanks", "segments", "batch (us)"});
+  for (const auto& b : res.batches) {
+    t.add_row({std::to_string(b.degree), cp::fmt_i(b.multiplications),
+               std::to_string(b.superbanks), std::to_string(b.segments),
+               cp::fmt_f(b.duration_us)});
+  }
+  t.print(std::cout);
+  std::cout << "makespan: " << cp::fmt_f(res.makespan_us) << " us, "
+            << "utilization " << cp::fmt_f(res.utilization * 100, 1)
+            << "%, aggregate "
+            << cp::fmt_i(static_cast<std::uint64_t>(res.throughput_per_s))
+            << " mults/s\n";
+  return 0;
+}
+
+int cmd_kem(int argc, char** argv) {
+  const auto seed_v = arg_u64(argc, argv, "--seed", 7);
+  cp::crypto::KemScheme kem;
+  cp::sim::CryptoPimSimulator simu(
+      cp::ntt::NttParams::for_degree(kem.pke().params().n));
+  kem.pke().set_multiplier(
+      [&simu](const cp::ntt::Poly& a, const cp::ntt::Poly& b) {
+        return simu.multiply(a, b);
+      });
+  cp::crypto::Seed ks{}, es{};
+  ks.fill(static_cast<std::uint8_t>(seed_v));
+  es.fill(static_cast<std::uint8_t>(seed_v + 1));
+  const auto [pk, sk] = kem.keygen(ks);
+  const auto [ct, key_enc] = kem.encapsulate(pk, es);
+  const auto key_dec = kem.decapsulate(sk, ct);
+  const bool ok = key_enc == key_dec;
+  std::cout << "KEM handshake: " << (ok ? "shared secret agreed" : "FAILED")
+            << " (" << kem.pke().multiplications()
+            << " ring multiplications on the accelerator)\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "multiply") return cmd_multiply(argc, argv);
+    if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "schedule") return cmd_schedule(argc, argv);
+    if (cmd == "kem") return cmd_kem(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
