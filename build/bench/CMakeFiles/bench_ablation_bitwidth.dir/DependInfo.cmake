@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_bitwidth.cc" "bench/CMakeFiles/bench_ablation_bitwidth.dir/bench_ablation_bitwidth.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_bitwidth.dir/bench_ablation_bitwidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cryptopim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cryptopim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cryptopim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cryptopim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/cryptopim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/he/CMakeFiles/cryptopim_he.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cryptopim_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntt/CMakeFiles/cryptopim_ntt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cryptopim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merged.dir/bench_ablation_merged.cc.o"
+  "CMakeFiles/bench_ablation_merged.dir/bench_ablation_merged.cc.o.d"
+  "bench_ablation_merged"
+  "bench_ablation_merged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_controller_microcode.dir/bench_controller_microcode.cc.o"
+  "CMakeFiles/bench_controller_microcode.dir/bench_controller_microcode.cc.o.d"
+  "bench_controller_microcode"
+  "bench_controller_microcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller_microcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

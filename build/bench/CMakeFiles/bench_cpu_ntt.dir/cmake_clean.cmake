@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_ntt.dir/bench_cpu_ntt.cc.o"
+  "CMakeFiles/bench_cpu_ntt.dir/bench_cpu_ntt.cc.o.d"
+  "bench_cpu_ntt"
+  "bench_cpu_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_robustness.dir/bench_device_robustness.cc.o"
+  "CMakeFiles/bench_device_robustness.dir/bench_device_robustness.cc.o.d"
+  "bench_device_robustness"
+  "bench_device_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

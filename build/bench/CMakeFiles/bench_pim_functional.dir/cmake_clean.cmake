@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pim_functional.dir/bench_pim_functional.cc.o"
+  "CMakeFiles/bench_pim_functional.dir/bench_pim_functional.cc.o.d"
+  "bench_pim_functional"
+  "bench_pim_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pim_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pim_functional.
+# This may be replaced when dependencies are built.

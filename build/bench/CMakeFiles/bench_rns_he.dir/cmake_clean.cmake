@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rns_he.dir/bench_rns_he.cc.o"
+  "CMakeFiles/bench_rns_he.dir/bench_rns_he.cc.o.d"
+  "bench_rns_he"
+  "bench_rns_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rns_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_modulo.dir/bench_table1_modulo.cc.o"
+  "CMakeFiles/bench_table1_modulo.dir/bench_table1_modulo.cc.o.d"
+  "bench_table1_modulo"
+  "bench_table1_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgv_demo.dir/bgv_demo.cpp.o"
+  "CMakeFiles/bgv_demo.dir/bgv_demo.cpp.o.d"
+  "bgv_demo"
+  "bgv_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgv_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/he_polymul.dir/he_polymul.cpp.o"
+  "CMakeFiles/he_polymul.dir/he_polymul.cpp.o.d"
+  "he_polymul"
+  "he_polymul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/he_polymul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

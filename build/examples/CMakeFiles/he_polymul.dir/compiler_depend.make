@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for he_polymul.
+# This may be replaced when dependencies are built.

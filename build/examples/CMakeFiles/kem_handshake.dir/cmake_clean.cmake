@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kem_handshake.dir/kem_handshake.cpp.o"
+  "CMakeFiles/kem_handshake.dir/kem_handshake.cpp.o.d"
+  "kem_handshake"
+  "kem_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kem_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlwe_pke.dir/rlwe_pke.cpp.o"
+  "CMakeFiles/rlwe_pke.dir/rlwe_pke.cpp.o.d"
+  "rlwe_pke"
+  "rlwe_pke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlwe_pke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

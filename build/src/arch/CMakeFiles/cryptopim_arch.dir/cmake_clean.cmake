@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_arch.dir/chip.cc.o"
+  "CMakeFiles/cryptopim_arch.dir/chip.cc.o.d"
+  "CMakeFiles/cryptopim_arch.dir/pipeline.cc.o"
+  "CMakeFiles/cryptopim_arch.dir/pipeline.cc.o.d"
+  "libcryptopim_arch.a"
+  "libcryptopim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

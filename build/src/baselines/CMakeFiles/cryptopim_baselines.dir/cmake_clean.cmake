@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_baselines.dir/cpu_model.cc.o"
+  "CMakeFiles/cryptopim_baselines.dir/cpu_model.cc.o.d"
+  "CMakeFiles/cryptopim_baselines.dir/pim_baselines.cc.o"
+  "CMakeFiles/cryptopim_baselines.dir/pim_baselines.cc.o.d"
+  "libcryptopim_baselines.a"
+  "libcryptopim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcryptopim_baselines.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_common.dir/table.cc.o"
+  "CMakeFiles/cryptopim_common.dir/table.cc.o.d"
+  "libcryptopim_common.a"
+  "libcryptopim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_crypto.dir/keccak.cc.o"
+  "CMakeFiles/cryptopim_crypto.dir/keccak.cc.o.d"
+  "CMakeFiles/cryptopim_crypto.dir/kem.cc.o"
+  "CMakeFiles/cryptopim_crypto.dir/kem.cc.o.d"
+  "CMakeFiles/cryptopim_crypto.dir/pke.cc.o"
+  "CMakeFiles/cryptopim_crypto.dir/pke.cc.o.d"
+  "libcryptopim_crypto.a"
+  "libcryptopim_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

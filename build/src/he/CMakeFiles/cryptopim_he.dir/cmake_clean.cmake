@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_he.dir/bgv.cc.o"
+  "CMakeFiles/cryptopim_he.dir/bgv.cc.o.d"
+  "libcryptopim_he.a"
+  "libcryptopim_he.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_he.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_model.dir/latency.cc.o"
+  "CMakeFiles/cryptopim_model.dir/latency.cc.o.d"
+  "CMakeFiles/cryptopim_model.dir/performance.cc.o"
+  "CMakeFiles/cryptopim_model.dir/performance.cc.o.d"
+  "CMakeFiles/cryptopim_model.dir/scheduler.cc.o"
+  "CMakeFiles/cryptopim_model.dir/scheduler.cc.o.d"
+  "libcryptopim_model.a"
+  "libcryptopim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

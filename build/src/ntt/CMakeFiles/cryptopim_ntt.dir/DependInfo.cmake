@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntt/merged_ntt.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/merged_ntt.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/merged_ntt.cc.o.d"
+  "/root/repo/src/ntt/modular.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/modular.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/modular.cc.o.d"
+  "/root/repo/src/ntt/ntt.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/ntt.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/ntt.cc.o.d"
+  "/root/repo/src/ntt/params.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/params.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/params.cc.o.d"
+  "/root/repo/src/ntt/poly.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/poly.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/poly.cc.o.d"
+  "/root/repo/src/ntt/reduction.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/reduction.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/reduction.cc.o.d"
+  "/root/repo/src/ntt/rns.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/rns.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/rns.cc.o.d"
+  "/root/repo/src/ntt/shiftadd_ntt.cc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/shiftadd_ntt.cc.o" "gcc" "src/ntt/CMakeFiles/cryptopim_ntt.dir/shiftadd_ntt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptopim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

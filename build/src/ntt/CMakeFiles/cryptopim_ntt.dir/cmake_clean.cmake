@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_ntt.dir/merged_ntt.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/merged_ntt.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/modular.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/modular.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/ntt.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/ntt.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/params.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/params.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/poly.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/poly.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/reduction.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/reduction.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/rns.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/rns.cc.o.d"
+  "CMakeFiles/cryptopim_ntt.dir/shiftadd_ntt.cc.o"
+  "CMakeFiles/cryptopim_ntt.dir/shiftadd_ntt.cc.o.d"
+  "libcryptopim_ntt.a"
+  "libcryptopim_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/block.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/block.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/block.cc.o.d"
+  "/root/repo/src/pim/circuits/arith.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/circuits/arith.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/circuits/arith.cc.o.d"
+  "/root/repo/src/pim/circuits/reduction.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/circuits/reduction.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/circuits/reduction.cc.o.d"
+  "/root/repo/src/pim/device.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/device.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/device.cc.o.d"
+  "/root/repo/src/pim/executor.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/executor.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/executor.cc.o.d"
+  "/root/repo/src/pim/program.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/program.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/program.cc.o.d"
+  "/root/repo/src/pim/switch.cc" "src/pim/CMakeFiles/cryptopim_pim.dir/switch.cc.o" "gcc" "src/pim/CMakeFiles/cryptopim_pim.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cryptopim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntt/CMakeFiles/cryptopim_ntt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

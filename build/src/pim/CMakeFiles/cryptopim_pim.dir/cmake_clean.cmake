@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_pim.dir/block.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/block.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/circuits/arith.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/circuits/arith.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/circuits/reduction.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/circuits/reduction.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/device.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/device.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/executor.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/executor.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/program.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/program.cc.o.d"
+  "CMakeFiles/cryptopim_pim.dir/switch.cc.o"
+  "CMakeFiles/cryptopim_pim.dir/switch.cc.o.d"
+  "libcryptopim_pim.a"
+  "libcryptopim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

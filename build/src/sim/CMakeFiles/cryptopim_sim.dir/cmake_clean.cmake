@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_sim.dir/pipelined.cc.o"
+  "CMakeFiles/cryptopim_sim.dir/pipelined.cc.o.d"
+  "CMakeFiles/cryptopim_sim.dir/simulator.cc.o"
+  "CMakeFiles/cryptopim_sim.dir/simulator.cc.o.d"
+  "libcryptopim_sim.a"
+  "libcryptopim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

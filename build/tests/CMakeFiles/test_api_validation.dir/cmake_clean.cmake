@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_validation.dir/test_api_validation.cc.o"
+  "CMakeFiles/test_api_validation.dir/test_api_validation.cc.o.d"
+  "test_api_validation"
+  "test_api_validation.pdb"
+  "test_api_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arith_property.dir/test_arith_property.cc.o"
+  "CMakeFiles/test_arith_property.dir/test_arith_property.cc.o.d"
+  "test_arith_property"
+  "test_arith_property.pdb"
+  "test_arith_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arith_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

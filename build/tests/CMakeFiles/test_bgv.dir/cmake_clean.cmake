@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgv.dir/test_bgv.cc.o"
+  "CMakeFiles/test_bgv.dir/test_bgv.cc.o.d"
+  "test_bgv"
+  "test_bgv.pdb"
+  "test_bgv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

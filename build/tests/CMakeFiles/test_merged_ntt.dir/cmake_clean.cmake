@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merged_ntt.dir/test_merged_ntt.cc.o"
+  "CMakeFiles/test_merged_ntt.dir/test_merged_ntt.cc.o.d"
+  "test_merged_ntt"
+  "test_merged_ntt.pdb"
+  "test_merged_ntt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merged_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

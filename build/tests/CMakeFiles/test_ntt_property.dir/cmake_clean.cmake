@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_property.dir/test_ntt_property.cc.o"
+  "CMakeFiles/test_ntt_property.dir/test_ntt_property.cc.o.d"
+  "test_ntt_property"
+  "test_ntt_property.pdb"
+  "test_ntt_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_arith.dir/test_pim_arith.cc.o"
+  "CMakeFiles/test_pim_arith.dir/test_pim_arith.cc.o.d"
+  "test_pim_arith"
+  "test_pim_arith.pdb"
+  "test_pim_arith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

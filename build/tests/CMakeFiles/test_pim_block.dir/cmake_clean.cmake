@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_block.dir/test_pim_block.cc.o"
+  "CMakeFiles/test_pim_block.dir/test_pim_block.cc.o.d"
+  "test_pim_block"
+  "test_pim_block.pdb"
+  "test_pim_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

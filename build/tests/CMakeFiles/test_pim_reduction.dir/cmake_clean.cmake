@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_reduction.dir/test_pim_reduction.cc.o"
+  "CMakeFiles/test_pim_reduction.dir/test_pim_reduction.cc.o.d"
+  "test_pim_reduction"
+  "test_pim_reduction.pdb"
+  "test_pim_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

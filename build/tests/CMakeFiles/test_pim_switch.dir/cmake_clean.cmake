@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pim_switch.dir/test_pim_switch.cc.o"
+  "CMakeFiles/test_pim_switch.dir/test_pim_switch.cc.o.d"
+  "test_pim_switch"
+  "test_pim_switch.pdb"
+  "test_pim_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pim_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

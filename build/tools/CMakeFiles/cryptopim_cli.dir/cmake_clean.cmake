@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryptopim_cli.dir/cryptopim_cli.cc.o"
+  "CMakeFiles/cryptopim_cli.dir/cryptopim_cli.cc.o.d"
+  "cryptopim"
+  "cryptopim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryptopim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
