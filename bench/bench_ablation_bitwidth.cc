@@ -10,6 +10,7 @@
 #include "model/latency.h"
 #include "model/performance.h"
 #include "ntt/params.h"
+#include "obs/bench_report.h"
 #include "pim/circuits/arith.h"
 
 namespace cp = cryptopim;
@@ -39,6 +40,7 @@ int main() {
                "16-bit speedup", "mult share of stage"});
   const auto em = cp::model::EnergyModel::calibrated();
   const auto dev = cp::pim::DeviceModel::paper_45nm();
+  cp::obs::BenchReporter rep("ablation_bitwidth");
   for (const std::uint32_t n : cp::ntt::paper_degrees()) {
     const auto spec =
         cp::arch::PipelineSpec::build(n, cp::arch::PipelineVariant::kCryptoPim);
@@ -50,6 +52,12 @@ int main() {
     const double mult_share =
         static_cast<double>(l.mult) / (l.sub + l.mult + l.transfer);
     const bool can16 = cp::bit_length(l.q) <= 16;
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    if (can16) {
+      rep.add("throughput_16bit", p16.throughput_per_s, "1/s", nn);
+    }
+    rep.add("throughput_32bit", p32.throughput_per_s, "1/s", nn);
+    rep.add("mult_share_of_stage", mult_share, "frac", nn);
     t.add_row({std::to_string(n), std::to_string(l.q),
                std::to_string(l.bitwidth),
                can16 ? cp::fmt_i(static_cast<std::uint64_t>(
@@ -72,5 +80,6 @@ int main() {
                "Conversely, the HE moduli (q = 786433, 20 bits) cannot fit\n"
                "a 16-bit datapath: lazy butterfly values reach 2q and the\n"
                "Montgomery products 2q^2 — hence the paper's 16/32 split.\n";
+  rep.write_default();
   return 0;
 }

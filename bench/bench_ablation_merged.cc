@@ -15,6 +15,7 @@
 #include "model/latency.h"
 #include "model/performance.h"
 #include "ntt/params.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 using cp::arch::StageOp;
@@ -26,6 +27,7 @@ int main() {
   const auto em = cp::model::EnergyModel::calibrated();
   const auto dev = cp::pim::DeviceModel::paper_45nm();
 
+  cp::obs::BenchReporter rep("ablation_merged");
   cp::Table t({"n", "stages (paper)", "stages (merged)", "lat (us) paper",
                "lat (us) merged", "lat saving", "thr change",
                "blocks/bank saved"});
@@ -45,6 +47,11 @@ int main() {
     });
     const auto opt = cp::model::evaluate_pipelined(merged, l, em, dev);
 
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    rep.add("latency_paper", base.latency_us, "us", nn);
+    rep.add("latency_merged", opt.latency_us, "us", nn);
+    rep.add("throughput_paper", base.throughput_per_s, "1/s", nn);
+    rep.add("throughput_merged", opt.throughput_per_s, "1/s", nn);
     t.add_row({std::to_string(n), std::to_string(base.depth),
                std::to_string(opt.depth), cp::fmt_f(base.latency_us),
                cp::fmt_f(opt.latency_us),
@@ -97,5 +104,6 @@ int main() {
                "multiplier); reductions are the second-largest consumer (the\n"
                "motivation for shift-add Algorithm 3); transfers are noise\n"
                "(the fixed-function switch doing its job).\n";
+  rep.write_default();
   return 0;
 }

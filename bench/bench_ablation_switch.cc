@@ -7,6 +7,7 @@
 #include "common/table.h"
 #include "model/performance.h"
 #include "ntt/params.h"
+#include "obs/bench_report.h"
 #include "pim/switch.h"
 
 namespace cp = cryptopim;
@@ -14,14 +15,20 @@ namespace cp = cryptopim;
 int main() {
   std::cout << "== Ablation: fixed-function switch vs full crossbar ==\n\n";
 
+  cp::obs::BenchReporter rep("ablation_switch");
   cp::Table t({"rows", "fixed-function (logic/row)", "crossbar (logic/row)",
                "logic reduction"});
   for (const unsigned rows : {8u, 32u, 128u, 512u}) {
     const auto ff = cp::pim::FixedFunctionSwitch::logic_per_row();
     const auto xbar = cp::pim::FixedFunctionSwitch::crossbar_logic_per_row(rows);
+    rep.add("crossbar_logic_per_row", static_cast<double>(xbar), "elements",
+            {{"rows", std::to_string(rows)}});
     t.add_row({std::to_string(rows), std::to_string(ff), std::to_string(xbar),
                cp::fmt_x(static_cast<double>(xbar) / ff, 1)});
   }
+  rep.add("fixed_function_logic_per_row",
+          static_cast<double>(cp::pim::FixedFunctionSwitch::logic_per_row()),
+          "elements");
   t.print(std::cout);
   std::cout << "\nThe fixed-function switch wires exactly three routes per\n"
                "row (A->A, A->A+s, A->A-s) for one hard-coded stride, so its\n"
@@ -33,6 +40,8 @@ int main() {
   for (const std::uint32_t n : {256u, 2048u}) {
     const auto l = cp::model::paper_latency(n);
     const std::uint64_t stage = l.sub + l.mult + l.transfer;
+    rep.add("transfer_cycles_per_stage", static_cast<double>(l.transfer),
+            "cycles", {{"bitwidth", std::to_string(l.bitwidth)}});
     c.add_row({std::to_string(l.bitwidth), std::to_string(l.transfer),
                cp::fmt_pct(static_cast<double>(l.transfer) / stage, 1)});
   }
@@ -51,5 +60,10 @@ int main() {
   a.add_row({"full crossbar (hypothetical)", cp::fmt_i(xb_total)});
   a.add_row({"saving", cp::fmt_x(static_cast<double>(xb_total) / ff_total, 0)});
   a.print(std::cout);
+  rep.add("per_bank_fixed_function_elements", static_cast<double>(ff_total),
+          "elements");
+  rep.add("per_bank_crossbar_elements", static_cast<double>(xb_total),
+          "elements");
+  rep.write_default();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "obs/bench_report.h"
 #include "sim/simulator.h"
 
 namespace cp = cryptopim;
@@ -17,6 +18,7 @@ int main() {
   std::cout << "== Controller microcode (stage programs) ==\n\n";
 
   // Per-degree totals.
+  cp::obs::BenchReporter rep("controller_microcode");
   cp::Table t({"n", "q", "stage programs", "instructions", "ROM (KiB)",
                "banks sharing each program"});
   for (const std::uint32_t n : {256u, 1024u, 4096u, 32768u}) {
@@ -27,6 +29,12 @@ int main() {
     const auto b = cp::ntt::sample_uniform(n, p.q, rng);
     simu.multiply(a, b);
     const auto& mc = simu.microcode();
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    rep.add("stage_programs", static_cast<double>(mc.stage_count()),
+            "programs", nn);
+    rep.add("instructions", static_cast<double>(mc.total_instructions()),
+            "insns", nn);
+    rep.add("rom_bits", static_cast<double>(mc.total_rom_bits()), "bits", nn);
     t.add_row({std::to_string(n), std::to_string(p.q),
                std::to_string(mc.stage_count()),
                cp::fmt_i(mc.total_instructions()),
@@ -55,5 +63,6 @@ int main() {
                "(lock-step SIMD); per-bank state is limited to the row-mask\n"
                "table and the pre-loaded twiddle columns. Replay equivalence\n"
                "is asserted bit-exactly by tests/test_program.cc.\n";
+  rep.write_default();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "ntt/params.h"
 #include "ntt/poly.h"
 #include "ntt/reduction.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 
@@ -106,6 +107,35 @@ void BM_MontgomeryShiftAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_MontgomeryShiftAdd)->Arg(7681)->Arg(12289)->Arg(786433);
 
+// Console output as usual, but every finished run is also mirrored into
+// the BenchReporter so bench_cpu_ntt.json carries the same numbers.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(cp::obs::BenchReporter& rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      rep_.add(run.benchmark_name(), run.GetAdjustedRealTime(),
+               benchmark::GetTimeUnitString(run.time_unit),
+               {{"iterations", std::to_string(run.iterations)}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  cp::obs::BenchReporter& rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cp::obs::BenchReporter rep("cpu_ntt");
+  CaptureReporter reporter(rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  rep.write_default();
+  return 0;
+}

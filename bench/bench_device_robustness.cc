@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 #include "pim/device.h"
 
 namespace cp = cryptopim;
@@ -17,11 +18,18 @@ int main() {
             << "functional)\n\n";
 
   const auto dev = cp::pim::DeviceModel::paper_45nm();
+  cp::obs::BenchReporter rep("device_robustness");
+  rep.set_param("trials", "5000");
   cp::Table t({"variation", "trials", "nominal margin", "worst margin",
                "max reduction", "functional"});
   for (const double var : {0.05, 0.10, 0.20, 0.30}) {
     cp::Xoshiro256 rng(2020);
     const auto res = cp::pim::monte_carlo_noise_margin(dev, 5000, var, rng);
+    const cp::obs::BenchReporter::Params vp = {
+        {"variation", cp::fmt_f(var, 2)}};
+    rep.add("worst_margin", res.worst_margin, "ratio", vp);
+    rep.add("max_reduction", res.max_reduction_pct, "pct", vp);
+    rep.add("functional", res.functional ? 1.0 : 0.0, "bool", vp);
     t.add_row({cp::fmt_pct(var, 0), "5000", cp::fmt_f(res.nominal_margin, 4),
                cp::fmt_f(res.worst_margin, 4),
                cp::fmt_f(res.max_reduction_pct, 1) + "%",
@@ -33,5 +41,6 @@ int main() {
                "R_off/R_on = "
             << dev.r_off_ohm / dev.r_on_ohm
             << " keeps the divider margin near 1.\n";
+  rep.write_default();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "model/latency.h"
 #include "model/paper_constants.h"
 #include "model/performance.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 using cp::arch::PipelineSpec;
@@ -18,7 +19,8 @@ using cp::arch::PipelineVariant;
 
 namespace {
 
-void print_variant(PipelineVariant v, std::uint64_t paper_stage) {
+void print_variant(cp::obs::BenchReporter& rep, PipelineVariant v,
+                   std::uint64_t paper_stage) {
   const std::uint32_t n = 256;
   const auto l = cp::model::paper_latency(n);
   const auto spec = PipelineSpec::build(n, v);
@@ -32,6 +34,12 @@ void print_variant(PipelineVariant v, std::uint64_t paper_stage) {
             << " stages, slowest " << worst << " cycles (paper "
             << paper_stage << ", "
             << cp::fmt_x(static_cast<double>(worst) / paper_stage, 3) << ")\n";
+  const cp::obs::BenchReporter::Params vp = {
+      {"variant", cp::arch::to_string(v)}, {"n", "256"}};
+  rep.add("slowest_stage", static_cast<double>(worst), "cycles", vp);
+  rep.add("slowest_stage_paper", static_cast<double>(paper_stage), "cycles",
+          vp);
+  rep.add("depth", static_cast<double>(spec.depth()), "stages", vp);
 
   // Distinct stage shapes with multiplicity (the full chain repeats the
   // same butterfly grouping per level).
@@ -59,10 +67,12 @@ int main() {
             << "Stage latency = switch transfer (3N) + grouped ops;\n"
             << "per-op cycles from the paper formulas + Table I.\n\n";
 
-  print_variant(PipelineVariant::kAreaEfficient,
+  cp::obs::BenchReporter rep("fig4_pipeline");
+  print_variant(rep, PipelineVariant::kAreaEfficient,
                 cp::model::paper::kFig4AreaEfficientStage);
-  print_variant(PipelineVariant::kNaive, cp::model::paper::kFig4NaiveStage);
-  print_variant(PipelineVariant::kCryptoPim,
+  print_variant(rep, PipelineVariant::kNaive,
+                cp::model::paper::kFig4NaiveStage);
+  print_variant(rep, PipelineVariant::kCryptoPim,
                 cp::model::paper::kFig4CryptoPimStage);
 
   std::cout
@@ -72,5 +82,6 @@ int main() {
          "area-efficient arrangement instead of quintupling it (naive).\n"
          "Our naive-pipeline slowest stage is mult+transfer = 1531; the\n"
          "paper reports 1756 for this arrangement.\n";
+  rep.write_default();
   return 0;
 }

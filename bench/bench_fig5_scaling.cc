@@ -8,6 +8,7 @@
 #include "model/paper_constants.h"
 #include "model/performance.h"
 #include "ntt/params.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 
@@ -25,6 +26,7 @@ int main() {
   double gain_small = 0, gain_large = 0, ovh_small = 0, ovh_large = 0;
   double en_ovh_total = 0;
   int n_small = 0, n_large = 0;
+  cp::obs::BenchReporter rep("fig5_scaling");
   for (const std::uint32_t n : cp::ntt::paper_degrees()) {
     const auto np = cp::model::cryptopim_non_pipelined(n);
     const auto p = cp::model::cryptopim_pipelined(n);
@@ -39,6 +41,16 @@ int main() {
                cp::fmt_i(static_cast<std::uint64_t>(p.throughput_per_s)),
                cp::fmt_x(gain), cp::fmt_pct(ovh), cp::fmt_f(np.energy_uj),
                cp::fmt_f(p.energy_uj), cp::fmt_pct(en_ovh)});
+    const cp::obs::BenchReporter::Params np_params = {
+        {"n", std::to_string(n)}, {"pipelined", "0"}};
+    const cp::obs::BenchReporter::Params p_params = {
+        {"n", std::to_string(n)}, {"pipelined", "1"}};
+    rep.add("latency", np.latency_us, "us", np_params);
+    rep.add("latency", p.latency_us, "us", p_params);
+    rep.add("throughput", np.throughput_per_s, "1/s", np_params);
+    rep.add("throughput", p.throughput_per_s, "1/s", p_params);
+    rep.add("energy", np.energy_uj, "uJ", np_params);
+    rep.add("energy", p.energy_uj, "uJ", p_params);
     if (n <= 1024) {
       gain_small += gain;
       ovh_small += ovh;
@@ -75,5 +87,11 @@ int main() {
                "(stage latency depends on N, not n); latency grows with the\n"
                "stage count 4*log2(n)+6; energy grows with n and jumps at\n"
                "the 16->32-bit transition (n=2k), all as in the paper.\n";
+  rep.add("throughput_gain_small_n", gain_small / n_small, "x");
+  rep.add("throughput_gain_large_n", gain_large / n_large, "x");
+  rep.add("latency_overhead_small_n", ovh_small / n_small, "frac");
+  rep.add("latency_overhead_large_n", ovh_large / n_large, "frac");
+  rep.add("energy_overhead_avg", en_ovh_total / 8, "frac");
+  rep.write_default();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "model/paper_constants.h"
 #include "ntt/params.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 using cp::baselines::PimBaseline;
@@ -21,6 +22,7 @@ int main() {
                "BP1/BP2", "BP2/BP3", "BP3/CP", "BP1/CP"});
   double r12 = 0, r23 = 0, r3c = 0, r1c = 0;
   const auto& degrees = cp::ntt::paper_degrees();
+  cp::obs::BenchReporter rep("fig6_pim_baselines");
   for (const std::uint32_t n : degrees) {
     const double bp1 =
         cp::baselines::evaluate_baseline(PimBaseline::kBp1, n).latency_us;
@@ -35,6 +37,11 @@ int main() {
                cp::fmt_f(bp3), cp::fmt_f(cpim), cp::fmt_x(bp1 / bp2),
                cp::fmt_x(bp2 / bp3), cp::fmt_x(bp3 / cpim),
                cp::fmt_x(bp1 / cpim)});
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    rep.add("bp1_latency", bp1, "us", nn);
+    rep.add("bp2_latency", bp2, "us", nn);
+    rep.add("bp3_latency", bp3, "us", nn);
+    rep.add("cryptopim_latency", cpim, "us", nn);
     r12 += bp1 / bp2;
     r23 += bp2 / bp3;
     r3c += bp3 / cpim;
@@ -61,5 +68,10 @@ int main() {
                "is removing multiplication-based reductions (BP-2 -> BP-3);\n"
                "the optimized multiplier halves BP-1; trimmed reductions add\n"
                "a final ~1.2x.\n";
+  rep.add("bp1_over_bp2_avg", r12 / k, "x");
+  rep.add("bp2_over_bp3_avg", r23 / k, "x");
+  rep.add("bp3_over_cryptopim_avg", r3c / k, "x");
+  rep.add("bp1_over_cryptopim_avg", r1c / k, "x");
+  rep.write_default();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "ntt/ntt.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "obs/bench_report.h"
 #include "sim/simulator.h"
 
 namespace cp = cryptopim;
@@ -20,6 +21,7 @@ int main() {
             << "(non-pipelined critical path; functional circuits use the\n"
             << "width-trimmed micro-code, the model uses paper formulas)\n\n";
 
+  cp::obs::BenchReporter brep("pim_functional");
   cp::Table t({"n", "banks", "stages", "bit-exact", "sim cycles",
                "sim lat (us)", "model NP (us)", "sim/model", "sim en (uJ)",
                "model en (uJ)"});
@@ -42,6 +44,13 @@ int main() {
                cp::fmt_f(np.latency_us),
                cp::fmt_x(rep.latency_us / np.latency_us, 2),
                cp::fmt_f(rep.energy_uj), cp::fmt_f(np.energy_uj)});
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    brep.add("sim_wall_cycles", static_cast<double>(rep.wall_cycles),
+             "cycles", nn);
+    brep.add("sim_latency", rep.latency_us, "us", nn);
+    brep.add("model_np_latency", np.latency_us, "us", nn);
+    brep.add("sim_energy", rep.energy_uj, "uJ", nn);
+    brep.add("bit_exact", exact ? 1.0 : 0.0, "bool", nn);
     if (!exact) {
       std::cerr << "FUNCTIONAL MISMATCH at n=" << n << "\n";
       return 1;
@@ -52,5 +61,6 @@ int main() {
                "(which is itself verified against a schoolbook oracle).\n"
                "sim/model < 1 reflects the width-trimmed circuits and the\n"
                "narrower q-width datapath of the functional simulation.\n";
+  brep.write_default();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "common/table.h"
 #include "model/scheduler.h"
 #include "ntt/rns.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 using cp::ntt::U128;
@@ -23,6 +24,8 @@ int main() {
   std::cout << "== RNS-decomposed HE multiplication on CryptoPIM ==\n\n";
 
   constexpr std::uint32_t kDegree = 4096;
+  cp::obs::BenchReporter rep("rns_he");
+  rep.set_param("degree", std::to_string(kDegree));
   cp::Table t({"limbs", "log2(Q)", "host time (us)", "chip time (us)",
                "chip util", "RNS mults/s (chip)"});
   const cp::model::ChipScheduler sched;
@@ -52,6 +55,11 @@ int main() {
         {kDegree, static_cast<std::uint64_t>(limbs)}};
     const auto res = sched.schedule(jobs);
 
+    const cp::obs::BenchReporter::Params lp = {
+        {"limbs", std::to_string(limbs)}};
+    rep.add("host_time", host_us, "us", lp);
+    rep.add("chip_time", res.makespan_us, "us", lp);
+    rep.add("chip_utilization", res.utilization, "frac", lp);
     t.add_row({std::to_string(limbs), cp::fmt_f(log2q, 1),
                cp::fmt_f(host_us), cp::fmt_f(res.makespan_us),
                cp::fmt_f(res.utilization * 100, 1) + "%",
@@ -88,6 +96,7 @@ int main() {
     std::cout << "CRT correctness check (n=64, 4 limbs, "
               << cp::fmt_f(std::log2(static_cast<double>(basis.modulus())), 1)
               << "-bit Q): " << (got == want ? "exact" : "MISMATCH") << "\n";
+    rep.add("crt_check_exact", got == want ? 1.0 : 0.0, "bool");
     if (got != want) return 1;
   }
 
@@ -111,5 +120,9 @@ int main() {
             << ", aggregate "
             << cp::fmt_i(static_cast<std::uint64_t>(res.throughput_per_s))
             << " multiplications/s\n";
+  rep.add("mixed_makespan", res.makespan_us, "us");
+  rep.add("mixed_utilization", res.utilization, "frac");
+  rep.add("mixed_throughput", res.throughput_per_s, "1/s");
+  rep.write_default();
   return 0;
 }

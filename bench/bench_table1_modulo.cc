@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "model/paper_constants.h"
 #include "ntt/reduction.h"
+#include "obs/bench_report.h"
 #include "pim/circuits/reduction.h"
 
 namespace cp = cryptopim;
@@ -52,8 +53,10 @@ int main() {
 
   cp::Table t({"q", "reduction", "paper (cycles)", "measured (lazy)",
                "measured (canonical)", "measured/paper"});
+  cp::obs::BenchReporter rep("table1_modulo");
   for (const auto& row : cp::model::paper::table1_rows()) {
     const std::uint32_t q = row.q;
+    const cp::obs::BenchReporter::Params qp = {{"q", std::to_string(q)}};
     {
       const auto spec = cp::ntt::BarrettShiftAdd::paper_spec(q);
       const unsigned w = cp::bit_length(2ull * q - 1);
@@ -66,6 +69,10 @@ int main() {
       t.add_row({std::to_string(q), "Barrett", paper, cp::fmt_i(m.lazy),
                  cp::fmt_i(m.canonical),
                  cp::fmt_x(static_cast<double>(m.lazy) / row.barrett, 2)});
+      rep.add("barrett_lazy", static_cast<double>(m.lazy), "cycles", qp);
+      rep.add("barrett_canonical", static_cast<double>(m.canonical), "cycles",
+              qp);
+      rep.add("barrett_paper", static_cast<double>(row.barrett), "cycles", qp);
     }
     {
       const auto spec = cp::ntt::MontgomeryShiftAdd::paper_spec(q);
@@ -77,6 +84,11 @@ int main() {
       t.add_row({std::to_string(q), "Montgomery", std::to_string(row.montgomery),
                  cp::fmt_i(m.lazy), cp::fmt_i(m.canonical),
                  cp::fmt_x(static_cast<double>(m.lazy) / row.montgomery, 2)});
+      rep.add("montgomery_lazy", static_cast<double>(m.lazy), "cycles", qp);
+      rep.add("montgomery_canonical", static_cast<double>(m.canonical),
+              "cycles", qp);
+      rep.add("montgomery_paper", static_cast<double>(row.montgomery),
+              "cycles", qp);
     }
     t.add_separator();
   }
@@ -87,5 +99,6 @@ int main() {
                "the paper's counts (notably Barrett @ 786433, where the\n"
                "quotient is a single bit for post-addition inputs); the\n"
                "Montgomery row tracks the paper within ~25%.\n";
+  rep.write_default();
   return 0;
 }

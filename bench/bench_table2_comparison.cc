@@ -16,6 +16,7 @@
 #include "ntt/ntt.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "obs/bench_report.h"
 
 namespace cp = cryptopim;
 namespace paper = cp::model::paper;
@@ -45,6 +46,7 @@ double host_cpu_latency_us(std::uint32_t n) {
 int main() {
   std::cout << "== Table II: CryptoPIM vs FPGA [19] and CPU ==\n\n";
 
+  cp::obs::BenchReporter rep("table2_comparison");
   cp::Table t({"design", "n", "bits", "latency (us)", "energy (uJ)",
                "throughput (/s)"});
   for (const auto& r : paper::cpu_rows()) {
@@ -56,6 +58,7 @@ int main() {
   t.add_separator();
   for (const std::uint32_t n : cp::ntt::paper_degrees()) {
     const double us = host_cpu_latency_us(n);
+    rep.add("host_cpu_latency", us, "us", {{"n", std::to_string(n)}});
     t.add_row({"X86 host (measured)", std::to_string(n),
                std::to_string(cp::ntt::paper_bitwidth_for_degree(n)),
                cp::fmt_f(us), "-",
@@ -72,6 +75,11 @@ int main() {
   for (const std::uint32_t n : cp::ntt::paper_degrees()) {
     const auto m = cp::model::cryptopim_pipelined(n);
     const auto ref = *paper::row_for(paper::cryptopim_rows(), n);
+    const cp::obs::BenchReporter::Params nn = {{"n", std::to_string(n)}};
+    rep.add("model_latency", m.latency_us, "us", nn);
+    rep.add("model_energy", m.energy_uj, "uJ", nn);
+    rep.add("model_throughput", m.throughput_per_s, "1/s", nn);
+    rep.add("paper_latency", ref.latency_us, "us", nn);
     t.add_row({"CryptoPIM-P (model)", std::to_string(n),
                std::to_string(cp::ntt::paper_bitwidth_for_degree(n)),
                cp::fmt_f(m.latency_us) + " (" + cp::fmt_f(ref.latency_us) + ")",
@@ -121,5 +129,12 @@ int main() {
   c.add_row({"energy vs CPU (n<=1k)", cp::fmt_x(paper::kEnergyVsCpu),
              cp::fmt_x(en_cpu_small / 3)});
   c.print(std::cout);
+  rep.add("throughput_vs_fpga_small_n", thr_fpga / 3, "x");
+  rep.add("perf_reduction_vs_fpga_small_n", 1.0 - perf_fpga / 3, "frac");
+  rep.add("energy_vs_fpga_small_n", en_fpga / 3, "x");
+  rep.add("perf_vs_cpu_avg", perf_cpu / 8, "x");
+  rep.add("throughput_vs_cpu_small_n", thr_cpu_small / 3, "x");
+  rep.add("energy_vs_cpu_small_n", en_cpu_small / 3, "x");
+  rep.write_default();
   return 0;
 }

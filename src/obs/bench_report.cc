@@ -1,0 +1,83 @@
+#include "obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace cryptopim::obs {
+
+BenchReporter::BenchReporter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchReporter::set_param(const std::string& key, std::string value) {
+  for (auto& [k, v] : params_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  params_.emplace_back(key, std::move(value));
+}
+
+void BenchReporter::add(std::string metric, double value, std::string unit,
+                        Params params) {
+  metrics_.push_back(
+      Metric{std::move(metric), value, std::move(unit), std::move(params)});
+}
+
+namespace {
+
+Json params_json(const BenchReporter::Params& params) {
+  Json j = Json::object();
+  for (const auto& [k, v] : params) j.set(k, v);
+  return j;
+}
+
+}  // namespace
+
+Json BenchReporter::to_json() const {
+  Json doc = Json::object();
+  doc.set("bench", name_);
+  doc.set("schema", 1);
+  doc.set("params", params_json(params_));
+  Json ms = Json::array();
+  for (const auto& m : metrics_) {
+    Json j = Json::object();
+    j.set("name", m.name);
+    j.set("value", m.value);
+    j.set("unit", m.unit);
+    if (!m.params.empty()) j.set("params", params_json(m.params));
+    ms.push_back(std::move(j));
+  }
+  doc.set("metrics", std::move(ms));
+  return doc;
+}
+
+bool BenchReporter::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench_report: cannot open " << path << " for writing\n";
+    return false;
+  }
+  to_json().write(os);
+  os << '\n';
+  os.flush();
+  if (!os) {
+    std::cerr << "bench_report: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+std::string BenchReporter::write_default() const {
+  std::string dir;
+  if (const char* env = std::getenv("CRYPTOPIM_BENCH_OUT")) dir = env;
+  std::string path = dir.empty() ? std::string()
+                                 : dir + (dir.back() == '/' ? "" : "/");
+  path += "bench_" + name_ + ".json";
+  if (!write(path)) return "";
+  std::cerr << "[bench json: " << path << "]\n";
+  return path;
+}
+
+}  // namespace cryptopim::obs

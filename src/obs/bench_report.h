@@ -1,0 +1,70 @@
+// Machine-readable benchmark output.
+//
+// Every bench/bench_*.cc main builds one BenchReporter, adds the same
+// numbers it prints as tables, and calls write_default(), producing
+// `bench_<name>.json` next to the human output. The schema (documented in
+// bench/README.md) is stable so BENCH_*.json trajectories can be compared
+// across PRs:
+//
+//   {
+//     "bench": "<name>", "schema": 1,
+//     "params": {"<k>": "<v>", ...},             // run-level settings
+//     "metrics": [
+//       {"name": "...", "value": 1643, "unit": "cycles",
+//        "params": {"n": "256", ...}},           // per-point settings
+//       ...
+//     ]
+//   }
+//
+// The output directory is $CRYPTOPIM_BENCH_OUT when set (created by
+// tools/run_benches.sh), else the working directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cryptopim::obs {
+
+class BenchReporter {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchReporter(std::string bench_name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Run-level parameter (device config, trial counts, ...).
+  void set_param(const std::string& key, std::string value);
+
+  /// One measured point. `params` qualifies the point (degree, q, ...).
+  void add(std::string metric, double value, std::string unit,
+           Params params = {});
+
+  std::size_t metric_count() const noexcept { return metrics_.size(); }
+  Json to_json() const;
+
+  /// Writes to an explicit path. Returns false (and reports on stderr)
+  /// on I/O failure.
+  bool write(const std::string& path) const;
+
+  /// Writes bench_<name>.json into $CRYPTOPIM_BENCH_OUT (or cwd) and
+  /// prints the destination to stderr. Returns the path ("" on failure).
+  std::string write_default() const;
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    Params params;
+  };
+  std::string name_;
+  Params params_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace cryptopim::obs

@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace cryptopim::obs {
+
+void Tracer::clear() {
+  events_.clear();
+  open_.clear();
+  track_names_.clear();
+}
+
+void Tracer::begin(std::uint32_t track, std::string name, std::string cat,
+                   std::uint64_t begin) {
+  if (!enabled_) return;
+  open_[track].push_back(OpenSpan{std::move(name), std::move(cat), begin});
+}
+
+void Tracer::end(std::uint32_t track, std::uint64_t end_cycle) {
+  if (!enabled_) return;
+  const auto it = open_.find(track);
+  if (it == open_.end() || it->second.empty()) return;
+  OpenSpan s = std::move(it->second.back());
+  it->second.pop_back();
+  events_.push_back(TraceEvent{
+      std::move(s.name), std::move(s.cat), track, s.begin,
+      end_cycle >= s.begin ? end_cycle - s.begin : 0});
+}
+
+void Tracer::emit(std::uint32_t track, std::string name, std::string cat,
+                  std::uint64_t begin, std::uint64_t dur) {
+  if (!enabled_) return;
+  events_.push_back(
+      TraceEvent{std::move(name), std::move(cat), track, begin, dur});
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  if (!enabled_) return;
+  track_names_[track] = std::move(name);
+}
+
+std::size_t Tracer::open_span_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [track, stack] : open_) n += stack.size();
+  return n;
+}
+
+Json Tracer::chrome_trace() const {
+  Json doc = Json::object();
+  Json events = Json::array();
+  // Process + track metadata first (Perfetto applies it regardless of
+  // position, but leading metadata keeps the file skimmable).
+  {
+    Json m = Json::object();
+    m.set("name", "process_name");
+    m.set("ph", "M");
+    m.set("pid", 0);
+    Json args = Json::object();
+    args.set("name", "cryptopim (simulated cycles)");
+    m.set("args", std::move(args));
+    events.push_back(std::move(m));
+  }
+  for (const auto& [track, name] : track_names_) {
+    Json m = Json::object();
+    m.set("name", "thread_name");
+    m.set("ph", "M");
+    m.set("pid", 0);
+    m.set("tid", std::uint64_t{track});
+    Json args = Json::object();
+    args.set("name", name);
+    m.set("args", std::move(args));
+    events.push_back(std::move(m));
+  }
+  for (const auto& e : events_) {
+    Json j = Json::object();
+    j.set("name", e.name);
+    j.set("cat", e.cat);
+    j.set("ph", "X");
+    j.set("ts", e.begin);
+    j.set("dur", e.dur);
+    j.set("pid", 0);
+    j.set("tid", std::uint64_t{e.track});
+    events.push_back(std::move(j));
+  }
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ns");
+  Json other = Json::object();
+  other.set("timeUnit", "1 trace us = 1 simulated crossbar cycle");
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  chrome_trace().write(os);
+  os << '\n';
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace cryptopim::obs

@@ -16,6 +16,7 @@ Col bit_or_zero(const BlockExecutor& exec, const Operand& op, unsigned i) {
 
 Operand add(BlockExecutor& exec, const Operand& a, const Operand& b,
             unsigned out_width) {
+  const TraceScope span(exec, "add", "circuit");
   Operand sum = exec.alloc(out_width);
   const Col p = exec.alloc_col();
   const Col carry0 = exec.alloc_col();
@@ -40,6 +41,7 @@ Operand add(BlockExecutor& exec, const Operand& a, const Operand& b,
 
 SubResult sub(BlockExecutor& exec, const Operand& a, const Operand& b,
               unsigned out_width) {
+  const TraceScope span(exec, "sub", "circuit");
   Operand diff = exec.alloc(out_width);
   const Col nb = exec.alloc_col();
   const Col p = exec.alloc_col();
@@ -65,6 +67,7 @@ SubResult sub(BlockExecutor& exec, const Operand& a, const Operand& b,
 }
 
 Operand multiply(BlockExecutor& exec, const Operand& a, const Operand& b) {
+  const TraceScope span(exec, "multiply", "circuit");
   const unsigned wa = a.width();
   const unsigned wb = b.width();
   const unsigned out = wa + wb;
@@ -293,6 +296,7 @@ Operand add_trimmed(BlockExecutor& exec, const Operand& a, const Operand& b,
 
 Operand multiply_baseline35(BlockExecutor& exec, const Operand& a,
                             const Operand& b) {
+  const TraceScope span(exec, "multiply_baseline35", "circuit");
   const unsigned wa = a.width();
   const unsigned wb = b.width();
   const unsigned out = wa + wb;
@@ -337,6 +341,7 @@ Operand mux(BlockExecutor& exec, Col sel, const Operand& x, const Operand& y) {
 
 Operand conditional_subtract(BlockExecutor& exec, const Operand& a,
                              std::uint64_t k) {
+  const TraceScope span(exec, "conditional_subtract", "circuit");
   const unsigned w = a.width();
   const Operand kc = exec.constant(k, w);
   SubResult d = sub(exec, a, kc, w);

@@ -2,9 +2,18 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "pim/program.h"
 
 namespace cryptopim::pim {
+
+void ExecStats::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("cryptopim.exec.cycles", "cycles").add(cycles);
+  reg.counter("cryptopim.exec.micro_ops", "ops").add(micro_ops);
+  reg.counter("cryptopim.exec.cell_events", "events").add(cell_events);
+  reg.counter("cryptopim.switch.transfer_bits", "bits").add(transfer_bits);
+  reg.histogram("cryptopim.exec.cols_peak", "columns").add(cols_peak);
+}
 
 BlockExecutor::BlockExecutor(MemoryBlock& block, RowMask mask,
                              DeviceModel device)
@@ -29,6 +38,10 @@ Col BlockExecutor::alloc_col() {
   free_cols_.pop_back();
   assert(refcount_[c] == 0);
   refcount_[c] = 1;
+  // Column-allocator occupancy high-water mark (rails + reserved regions
+  // + live allocations).
+  const std::uint64_t in_use = kBlockCols - free_cols_.size();
+  if (in_use > stats_.cols_peak) stats_.cols_peak = in_use;
   return c;
 }
 
@@ -140,7 +153,15 @@ void BlockExecutor::issue(const MicroOp& op) {
   block_.enforce_faults();
 }
 
-void BlockExecutor::charge_transfer(unsigned bits, unsigned cycles) {
+void BlockExecutor::charge_transfer(unsigned bits, unsigned cycles,
+                                    const char* what) {
+#if CRYPTOPIM_TRACING
+  if (tracer_ != nullptr) {
+    tracer_->emit(trace_track_, what, "transfer", trace_now(), cycles);
+  }
+#else
+  (void)what;
+#endif
   stats_.cycles += cycles;
   stats_.transfer_bits += static_cast<std::uint64_t>(bits) * mask_.count();
 }

@@ -11,11 +11,17 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "pim/block.h"
 #include "pim/device.h"
 #include "pim/isa.h"
+
+namespace cryptopim::obs {
+class MetricsRegistry;
+}
 
 namespace cryptopim::pim {
 
@@ -51,11 +57,16 @@ class Operand {
 };
 
 /// Cycle/energy accounting for one block (or one chained program).
+///
+/// This struct is the fast per-block ledger; for run-level observation it
+/// is a facade over the metrics registry — publish() mirrors the counters
+/// under `cryptopim.exec.*` (see src/obs/metrics.h).
 struct ExecStats {
   std::uint64_t cycles = 0;       ///< crossbar cycles consumed
   std::uint64_t micro_ops = 0;    ///< gate evaluations issued
   std::uint64_t cell_events = 0;  ///< sum over ops of cycles * active rows
   std::uint64_t transfer_bits = 0;  ///< bits moved through inter-block switches
+  std::uint64_t cols_peak = 0;    ///< high-water mark of columns in use
 
   double energy_fj(const DeviceModel& dev) const {
     return static_cast<double>(cell_events) * dev.cell_switch_energy_fj +
@@ -66,8 +77,13 @@ struct ExecStats {
     micro_ops += o.micro_ops;
     cell_events += o.cell_events;
     transfer_bits += o.transfer_bits;
+    if (o.cols_peak > cols_peak) cols_peak = o.cols_peak;
     return *this;
   }
+
+  /// Mirrors the ledger into `reg` as `cryptopim.exec.<field>` counters
+  /// (cols_peak as a histogram sample).
+  void publish(obs::MetricsRegistry& reg) const;
 };
 
 class BlockExecutor {
@@ -137,7 +153,42 @@ class BlockExecutor {
 
   /// Charge an inter-block transfer (the fixed-function switch moves one
   /// column per cycle; a full operand costs width cycles per connection).
-  void charge_transfer(unsigned bits, unsigned cycles);
+  /// `what` labels the transfer span in traces.
+  void charge_transfer(unsigned bits, unsigned cycles,
+                       const char* what = "switch.transfer");
+
+  // -- cycle-domain tracing (see obs/trace.h) --------------------------------
+  // The executor is the span source for everything it executes: spans are
+  // timestamped `base + stats().cycles`, where `base` is the block's
+  // position on the simulated timeline (set per stage by the simulator).
+  /// Attach a tracer; nullptr (the default) makes every trace call a
+  /// single-branch no-op. `track` is this block's timeline id.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t track) noexcept {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+  void set_trace_base(std::uint64_t base_cycles) noexcept {
+    trace_base_ = base_cycles;
+  }
+  obs::Tracer* tracer() const noexcept { return tracer_; }
+  std::uint32_t trace_track() const noexcept { return trace_track_; }
+  /// Current position on the simulated timeline.
+  std::uint64_t trace_now() const noexcept { return trace_base_ + stats_.cycles; }
+  void trace_begin(std::string name, std::string cat) {
+#if CRYPTOPIM_TRACING
+    if (tracer_ != nullptr) {
+      tracer_->begin(trace_track_, std::move(name), std::move(cat),
+                     trace_now());
+    }
+#else
+    (void)name, (void)cat;
+#endif
+  }
+  void trace_end() {
+#if CRYPTOPIM_TRACING
+    if (tracer_ != nullptr) tracer_->end(trace_track_, trace_now());
+#endif
+  }
 
   // -- microcode recording (see pim/program.h) -------------------------------
   /// While set, every issued micro-op is appended to `program` under the
@@ -171,6 +222,33 @@ class BlockExecutor {
   std::array<int, kBlockCols> refcount_{};
   Program* recorder_ = nullptr;
   std::uint8_t record_slot_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_track_ = 0;
+  std::uint64_t trace_base_ = 0;
+};
+
+/// RAII span on an executor's track, in cycle time:
+///   TraceScope ts(exec, "multiply", "circuit");
+/// Compiles to nothing with CRYPTOPIM_TRACING=0 and to one branch per
+/// scope when no tracer is attached.
+class TraceScope {
+ public:
+#if CRYPTOPIM_TRACING
+  TraceScope(BlockExecutor& exec, std::string name, std::string cat)
+      : exec_(exec.tracer() != nullptr ? &exec : nullptr) {
+    if (exec_ != nullptr) exec_->trace_begin(std::move(name), std::move(cat));
+  }
+  ~TraceScope() {
+    if (exec_ != nullptr) exec_->trace_end();
+  }
+
+ private:
+  BlockExecutor* exec_;
+#else
+  TraceScope(BlockExecutor&, std::string, std::string) {}
+#endif
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
 };
 
 }  // namespace cryptopim::pim

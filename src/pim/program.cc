@@ -12,6 +12,7 @@ std::uint64_t Program::cycles() const noexcept {
 
 void Program::execute(BlockExecutor& exec,
                       std::span<const RowMask> mask_slots) const {
+  const TraceScope span(exec, "program.replay", "program");
   const RowMask saved = exec.mask();
   for (const auto& i : instrs_) {
     assert(i.mask_slot < mask_slots.size());

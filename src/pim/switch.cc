@@ -27,7 +27,10 @@ void FixedFunctionSwitch::transfer(const MemoryBlock& src,
   }
   dst.enforce_faults();
   // One column per cycle through the route.
-  dst_exec.charge_transfer(src_op.width(), src_op.width());
+  const char* what = route == Route::kStraight ? "switch.straight"
+                     : route == Route::kPlusS ? "switch.plus_s"
+                                              : "switch.minus_s";
+  dst_exec.charge_transfer(src_op.width(), src_op.width(), what);
 }
 
 }  // namespace cryptopim::pim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace cryptopim::sim {
 
@@ -24,6 +27,13 @@ std::vector<ntt::Poly> PipelinedSimulator::multiply_stream(
   // sequence (collecting its per-stage cycle trace) and derive the
   // beat-accurate schedule from the traces, which are identical across
   // jobs by construction (same microcode broadcast per stage).
+  // Each per-job multiply would emit its own full (and mutually
+  // overlapping) timeline; suppress those and emit the beat-level
+  // pipeline schedule instead once the beat period is known.
+  obs::Tracer& tr = obs::tracer();
+  const bool tracing = CRYPTOPIM_TRACING && tr.enabled();
+  if (tracing) tr.set_enabled(false);
+
   CryptoPimSimulator simu(params_, device_);
   std::vector<ntt::Poly> results;
   results.reserve(pairs.size());
@@ -35,9 +45,11 @@ std::vector<ntt::Poly> PipelinedSimulator::multiply_stream(
     } else if (trace != simu.report().stage_cycles) {
       // The controller broadcasts fixed programs; a data-dependent trace
       // would break lock-step pipelining.
+      if (tracing) tr.set_enabled(true);
       throw std::logic_error("stage traces differ across jobs");
     }
   }
+  if (tracing) tr.set_enabled(true);
 
   // Lock-step beats: all stages run their program each beat; the beat
   // period is the slowest stage. One job completes per beat once full.
@@ -56,6 +68,24 @@ std::vector<ntt::Poly> PipelinedSimulator::multiply_stream(
       static_cast<double>(report_.makespan_cycles) * device_.cycle_ns * 1e-3;
   report_.throughput_per_s =
       1.0 / (static_cast<double>(report_.beat_cycles) * device_.cycle_s());
+
+#if CRYPTOPIM_TRACING
+  if (tracing) {
+    // Lock-step beat schedule: job j occupies stage s during beat j + s.
+    // One track per pipeline stage; span length is the stage's real work
+    // within its beat window.
+    const auto& names = simu.report().stage_names;
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+      const std::uint32_t track = kStageTrackBase + static_cast<std::uint32_t>(s);
+      tr.set_track_name(track, "stage " + std::to_string(s) + ": " +
+                                   (s < names.size() ? names[s] : "?"));
+      for (std::size_t j = 0; j < pairs.size(); ++j) {
+        tr.emit(track, "job " + std::to_string(j), "pipeline.beat",
+                (j + s) * report_.beat_cycles, trace[s]);
+      }
+    }
+  }
+#endif
   return results;
 }
 

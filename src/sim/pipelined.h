@@ -48,6 +48,11 @@ class PipelinedSimulator {
   const PipelineRunReport& report() const noexcept { return report_; }
   const ntt::NttParams& params() const noexcept { return params_; }
 
+  /// When the global tracer is enabled, multiply_stream() emits the
+  /// beat-level schedule: one track per pipeline stage starting here,
+  /// one span per (job, stage) occupancy.
+  static constexpr std::uint32_t kStageTrackBase = 1u << 17;
+
  private:
   ntt::NttParams params_;
   pim::DeviceModel device_;

@@ -63,16 +63,62 @@ CryptoPimSimulator::make_state() const {
   return st;
 }
 
-void CryptoPimSimulator::accumulate(PolyState& st) {
-  for (auto& bank : st.banks) {
-    report_.totals += bank.exec->stats();
+void CryptoPimSimulator::attach_obs(PolyState& st) const {
+  // Softbank (B-path) stages run concurrently with the A-path stage that
+  // preceded them in program order; start their spans at that stage's
+  // begin cycle so the timeline shows the overlap.
+  const std::uint32_t track_base = wall_enabled_ ? 0 : kSoftbankTrackBase;
+  std::uint64_t base = report_.wall_cycles;
+  if (!wall_enabled_ && !report_.stage_cycles.empty()) {
+    base -= report_.stage_cycles.back();
   }
+  for (unsigned b = 0; b < banks_; ++b) {
+    st.banks[b].exec->set_tracer(active_tracer_, track_base + b);
+    st.banks[b].exec->set_trace_base(base);
+  }
+}
+
+void CryptoPimSimulator::accumulate(PolyState& st,
+                                    const std::string& stage_name) {
+  pim::ExecStats stage_total;
+  for (auto& bank : st.banks) {
+    stage_total += bank.exec->stats();
+  }
+  report_.totals += stage_total;
+
+#if CRYPTOPIM_TRACING
+  if (active_tracer_ != nullptr) {
+    for (auto& bank : st.banks) {
+      const auto& e = *bank.exec;
+      const std::uint64_t begin = e.trace_now() - e.stats().cycles;
+      active_tracer_->emit(e.trace_track(), stage_name, "stage", begin,
+                           e.stats().cycles);
+    }
+    if (wall_enabled_) {
+      active_tracer_->emit(kPipelineTrack, stage_name, "stage",
+                           report_.wall_cycles,
+                           st.banks[0].exec->stats().cycles);
+    }
+  }
+#endif
+
+  // Metrics: per-stage-kind cycle counters plus the ExecStats facade.
+  const std::string kind = stage_name.substr(0, stage_name.find('/'));
+  active_metrics_->counter("cryptopim.sim.cycles." + kind, "cycles")
+      .add(st.banks[0].exec->stats().cycles);
+  active_metrics_->counter("cryptopim.sim.stages", "stages").add(1);
+  stage_total.publish(*active_metrics_);
+
   // Banks run in lock-step, so the critical path is one bank's cycles.
   // B's softbank runs concurrently with A's: its stages cost energy but
   // no wall time (wall_enabled_ toggled around B's stage calls).
   if (wall_enabled_) {
-    report_.wall_cycles += st.banks[0].exec->stats().cycles;
-    report_.stage_cycles.push_back(st.banks[0].exec->stats().cycles);
+    const std::uint64_t cycles = st.banks[0].exec->stats().cycles;
+    active_metrics_->histogram("cryptopim.sim.stage_cycles", "cycles")
+        .add(cycles);
+    report_.wall_cycles += cycles;
+    report_.stage_cycles.push_back(cycles);
+    report_.stage_names.push_back(stage_name);
   }
   report_.stages += 1;
 }
@@ -133,6 +179,7 @@ void CryptoPimSimulator::stage_scale(
     std::unique_ptr<PolyState>& st, bool /*montgomery_domain*/,
     const std::vector<std::uint32_t>& factors_by_row) {
   auto next = make_state();
+  attach_obs(*next);
   const pim::FixedFunctionSwitch sw(0);
 
   // The controller compiles the stage microcode once (while bank 0
@@ -170,7 +217,7 @@ void CryptoPimSimulator::stage_scale(
     }
   }
   record_stage_program("scale", program);
-  accumulate(*next);
+  accumulate(*next, "scale");
   st = std::move(next);
 }
 
@@ -178,6 +225,7 @@ void CryptoPimSimulator::stage_butterfly(
     std::unique_ptr<PolyState>& st, std::uint32_t stride,
     const std::vector<std::uint32_t>& twiddle_by_high_row) {
   auto next = make_state();
+  attach_obs(*next);
 
   // --- transfers through the fixed-function switches -----------------------
   if (stride < rows_per_bank_) {
@@ -293,14 +341,16 @@ void CryptoPimSimulator::stage_butterfly(
     e.set_mask(pim::RowMask::first_rows(rows_per_bank_));
   }
 
-  record_stage_program("butterfly/s" + std::to_string(stride), program);
-  accumulate(*next);
+  const std::string stage_name = "butterfly/s" + std::to_string(stride);
+  record_stage_program(stage_name, program);
+  accumulate(*next, stage_name);
   st = std::move(next);
 }
 
 void CryptoPimSimulator::stage_pointwise(std::unique_ptr<PolyState>& a,
                                          std::unique_ptr<PolyState>& b) {
   auto next = make_state();
+  attach_obs(*next);
   const pim::FixedFunctionSwitch sw(0);
   pim::Program program;
   const std::vector<pim::RowMask> slots = {
@@ -332,7 +382,7 @@ void CryptoPimSimulator::stage_pointwise(std::unique_ptr<PolyState>& a,
     e.free(red);
   }
   record_stage_program("pointwise", program);
-  accumulate(*next);
+  accumulate(*next, "pointwise");
   a = std::move(next);
   b.reset();
 }
@@ -381,6 +431,20 @@ ntt::Poly CryptoPimSimulator::multiply(const ntt::Poly& a,
   }
   report_ = SimReport{};
   microcode_ = pim::Controller{};
+
+  active_metrics_ =
+      custom_metrics_ != nullptr ? custom_metrics_ : &obs::metrics();
+  obs::Tracer& tr = custom_tracer_ != nullptr ? *custom_tracer_ : obs::tracer();
+  active_tracer_ = (CRYPTOPIM_TRACING && tr.enabled()) ? &tr : nullptr;
+  if (active_tracer_ != nullptr) {
+    for (unsigned b = 0; b < banks_; ++b) {
+      active_tracer_->set_track_name(b, "bank " + std::to_string(b) + " (A)");
+      active_tracer_->set_track_name(kSoftbankTrackBase + b,
+                                     "softbank " + std::to_string(b) + " (B)");
+    }
+    active_tracer_->set_track_name(kPipelineTrack, "pipeline (critical path)");
+  }
+
   const std::uint32_t n = params_.n;
   const std::uint32_t q = params_.q;
   const unsigned bits = params_.log2n;
@@ -448,6 +512,11 @@ ntt::Poly CryptoPimSimulator::multiply(const ntt::Poly& a,
   report_.latency_us =
       static_cast<double>(report_.wall_cycles) * device_.cycle_ns * 1e-3;
   report_.energy_uj = report_.totals.energy_fj(device_) * 1e-9;
+
+  active_metrics_->counter("cryptopim.sim.multiplies", "ops").add(1);
+  active_metrics_->counter("cryptopim.sim.wall_cycles", "cycles")
+      .add(report_.wall_cycles);
+  active_tracer_ = nullptr;
   return c;
 }
 

@@ -24,9 +24,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ntt/ntt.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
 #include "ntt/reduction.h"
@@ -45,7 +48,10 @@ struct SimReport {
   double energy_uj = 0;
   /// Per-stage cycle counts along the critical (A) path, in pipeline
   /// order — the input the pipelined-streaming simulator beats on.
+  /// Invariant (tested): sum(stage_cycles) == wall_cycles.
   std::vector<std::uint64_t> stage_cycles;
+  /// Stage names parallel to stage_cycles ("scale", "butterfly/s8", ...).
+  std::vector<std::string> stage_names;
 };
 
 class CryptoPimSimulator {
@@ -67,6 +73,20 @@ class CryptoPimSimulator {
 
   const ntt::NttParams& params() const noexcept { return params_; }
 
+  // -- observability ---------------------------------------------------------
+  // By default the simulator records into the process-global tracer and
+  // metrics registry (obs::tracer() / obs::metrics()); tracing only
+  // happens while the tracer is enabled. Tests may redirect both.
+  //
+  // Trace layout: track b = bank b of the critical (A) path; track
+  // kSoftbankTrackBase + b = softbank b of the concurrent B path; track
+  // kPipelineTrack carries one span per wall-path stage, so the spans on
+  // that track sum exactly to SimReport::wall_cycles.
+  static constexpr std::uint32_t kSoftbankTrackBase = 1u << 15;
+  static constexpr std::uint32_t kPipelineTrack = 1u << 16;
+  void set_tracer(obs::Tracer* tracer) noexcept { custom_tracer_ = tracer; }
+  void set_metrics(obs::MetricsRegistry* reg) noexcept { custom_metrics_ = reg; }
+
  private:
   struct PolyState;
 
@@ -86,7 +106,11 @@ class CryptoPimSimulator {
   std::vector<std::uint32_t> forward_twiddles_by_row(std::uint32_t stride) const;
   std::vector<std::uint32_t> inverse_twiddles_by_row(std::uint32_t stride) const;
 
-  void accumulate(PolyState& st);
+  /// Attaches tracer/track/base-cycle to a freshly made stage state
+  /// (track block depends on whether we are on the wall (A) or softbank
+  /// (B) path).
+  void attach_obs(PolyState& st) const;
+  void accumulate(PolyState& st, const std::string& stage_name);
   void record_stage_program(std::string name, pim::Program& program);
 
   ntt::NttParams params_;
@@ -100,6 +124,11 @@ class CryptoPimSimulator {
   bool wall_enabled_ = true;
   SimReport report_;
   pim::Controller microcode_;
+  obs::Tracer* custom_tracer_ = nullptr;
+  obs::MetricsRegistry* custom_metrics_ = nullptr;
+  // Resolved per multiply(): nullptr when tracing is off for the run.
+  obs::Tracer* active_tracer_ = nullptr;
+  obs::MetricsRegistry* active_metrics_ = nullptr;
 };
 
 }  // namespace cryptopim::sim

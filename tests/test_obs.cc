@@ -1,0 +1,252 @@
+// Tests for the observability layer (src/obs): JSON round-trips, trace
+// nesting and Chrome-trace export, metrics snapshots, BenchReporter
+// files, and the integration invariant that the pipeline-track spans of a
+// simulated multiplication sum exactly to the reported wall cycles.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "ntt/poly.h"
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace cryptopim::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, DumpAndParseRoundTrip) {
+  Json doc = Json::object();
+  doc.set("schema", 1);
+  doc.set("name", "bench \"quoted\"\n");
+  doc.set("pi", 3.25);
+  doc.set("flag", true);
+  doc.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(std::uint64_t{1} << 40);
+  arr.push_back(-7);
+  doc.set("values", std::move(arr));
+
+  const auto r = parse_json(doc.dump());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, doc);
+  // Large integers print without a fractional part.
+  EXPECT_NE(doc.dump().find("1099511627776"), std::string::npos);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("").ok);
+  EXPECT_FALSE(parse_json("{\"a\":1,}").ok);
+  EXPECT_FALSE(parse_json("[1, 2] trailing").ok);
+  EXPECT_FALSE(parse_json("\"bad \\x escape\"").ok);
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok);
+  EXPECT_TRUE(parse_json("  {\"a\": [true, null, 1e3]}  ").ok);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", 1);
+  doc.set("alpha", 2);
+  doc.set("zebra", 3);  // replace keeps first-insertion position
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "zebra");
+  EXPECT_EQ(doc.members()[0].second.as_u64(), 3u);
+  EXPECT_EQ(doc.members()[1].first, "alpha");
+}
+
+// --------------------------------------------------------------- Tracer --
+
+TEST(Tracer, NestedSpansCloseInnermostFirst) {
+  Tracer t;
+  t.set_enabled(true);
+  t.begin(0, "outer", "stage", 0);
+  t.begin(0, "inner", "circuit", 10);
+  EXPECT_EQ(t.open_span_count(), 2u);
+  t.end(0, 40);   // closes "inner"
+  t.end(0, 100);  // closes "outer"
+  EXPECT_EQ(t.open_span_count(), 0u);
+
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].name, "inner");
+  EXPECT_EQ(t.events()[0].begin, 10u);
+  EXPECT_EQ(t.events()[0].dur, 30u);
+  EXPECT_EQ(t.events()[1].name, "outer");
+  EXPECT_EQ(t.events()[1].dur, 100u);
+  // Unbalanced end() is ignored, not fatal.
+  t.end(0, 200);
+  EXPECT_EQ(t.events().size(), 2u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;
+  ASSERT_FALSE(t.enabled());
+  t.begin(1, "span", "stage", 0);
+  t.end(1, 50);
+  t.emit(1, "direct", "stage", 0, 5);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.open_span_count(), 0u);
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_track_name(3, "bank 3 (A)");
+  t.emit(3, "butterfly/s4", "stage", 100, 250);
+
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const auto r = parse_json(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& events = r.value.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  bool saw_meta = false, saw_span = false;
+  for (const auto& e : events.items()) {
+    const auto& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      saw_meta = e.at("name").as_string() == "thread_name" &&
+                 e.at("args").at("name").as_string() == "bank 3 (A)";
+    } else if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.at("name").as_string(), "butterfly/s4");
+      EXPECT_EQ(e.at("ts").as_u64(), 100u);
+      EXPECT_EQ(e.at("dur").as_u64(), 250u);
+      EXPECT_EQ(e.at("tid").as_u64(), 3u);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+}
+
+// -------------------------------------------------------------- Metrics --
+
+TEST(Metrics, SnapshotRoundTripsThroughJsonText) {
+  MetricsRegistry reg;
+  reg.counter("cryptopim.test.cycles", "cycles").add(12345);
+  reg.counter("cryptopim.test.ops", "ops").add(7);
+  auto& h = reg.histogram("cryptopim.test.latency", "cycles");
+  for (const std::uint64_t v : {0u, 1u, 5u, 5u, 900u}) h.add(v);
+
+  const Json snap = reg.snapshot();
+  const auto parsed = parse_json(snap.dump());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto restored = MetricsRegistry::from_snapshot(parsed.value);
+  EXPECT_EQ(restored.snapshot(), snap);
+
+  EXPECT_EQ(restored.counters().at("cryptopim.test.cycles").value(), 12345u);
+  const auto& rh = restored.histograms().at("cryptopim.test.latency");
+  EXPECT_EQ(rh.count(), 5u);
+  EXPECT_EQ(rh.sum(), 911u);
+  EXPECT_EQ(rh.min(), 0u);
+  EXPECT_EQ(rh.max(), 900u);
+}
+
+TEST(Metrics, HistogramBucketsArePowersOfTwo) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  hist.add(0);  // bucket 0
+  hist.add(1);  // bucket 1: [1, 2)
+  hist.add(6);  // bucket 3: [4, 8)
+  hist.add(7);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(3), 2u);
+  EXPECT_EQ(hist.mean(), 3.5);
+}
+
+// -------------------------------------------------------- BenchReporter --
+
+TEST(BenchReporter, WritesParseableSchema) {
+  BenchReporter rep("unit_test");
+  rep.set_param("trials", "3");
+  rep.add("latency", 12.5, "us", {{"n", "256"}});
+  rep.add("throughput", 1e6, "1/s");
+  EXPECT_EQ(rep.metric_count(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/bench_unit_test.json";
+  ASSERT_TRUE(rep.write(path));
+  std::ifstream is(path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const auto r = parse_json(buf.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.at("bench").as_string(), "unit_test");
+  EXPECT_EQ(r.value.at("schema").as_u64(), 1u);
+  EXPECT_EQ(r.value.at("params").at("trials").as_string(), "3");
+  const auto& metrics = r.value.at("metrics");
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].at("name").as_string(), "latency");
+  EXPECT_EQ(metrics[0].at("params").at("n").as_string(), "256");
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- simulator integration --
+
+#if CRYPTOPIM_TRACING
+
+TEST(TraceIntegration, PipelineSpansSumToWallCycles) {
+  const auto p = ntt::NttParams::for_degree(256);
+  sim::CryptoPimSimulator simu(p);
+  Tracer local;
+  local.set_enabled(true);
+  MetricsRegistry reg;
+  simu.set_tracer(&local);
+  simu.set_metrics(&reg);
+
+  Xoshiro256 rng(11);
+  const auto a = ntt::sample_uniform(p.n, p.q, rng);
+  const auto b = ntt::sample_uniform(p.n, p.q, rng);
+  simu.multiply(a, b);
+  const auto& rep = simu.report();
+
+  std::uint64_t pipeline_sum = 0, pipeline_spans = 0;
+  for (const auto& e : local.events()) {
+    if (e.track == sim::CryptoPimSimulator::kPipelineTrack) {
+      pipeline_sum += e.dur;
+      ++pipeline_spans;
+    }
+  }
+  EXPECT_EQ(pipeline_spans, rep.stage_cycles.size());
+  EXPECT_EQ(pipeline_sum, rep.wall_cycles);
+
+  // Per-bank and softbank tracks both carried events.
+  bool saw_bank = false, saw_softbank = false, saw_circuit = false;
+  for (const auto& e : local.events()) {
+    saw_bank |= e.track < sim::CryptoPimSimulator::kSoftbankTrackBase;
+    saw_softbank |=
+        e.track >= sim::CryptoPimSimulator::kSoftbankTrackBase &&
+        e.track < sim::CryptoPimSimulator::kPipelineTrack;
+    saw_circuit |= e.cat == "circuit";
+  }
+  EXPECT_TRUE(saw_bank);
+  EXPECT_TRUE(saw_softbank);
+  EXPECT_TRUE(saw_circuit);
+
+  // Metrics mirrored the stage ledger.
+  EXPECT_EQ(reg.counters().at("cryptopim.sim.wall_cycles").value(),
+            rep.wall_cycles);
+  EXPECT_GT(reg.counters().at("cryptopim.exec.cycles").value(), 0u);
+}
+
+TEST(TraceIntegration, DisabledCustomTracerStaysEmpty) {
+  const auto p = ntt::NttParams::for_degree(64);
+  sim::CryptoPimSimulator simu(p);
+  Tracer local;  // never enabled
+  simu.set_tracer(&local);
+  Xoshiro256 rng(5);
+  const auto a = ntt::sample_uniform(p.n, p.q, rng);
+  const auto b = ntt::sample_uniform(p.n, p.q, rng);
+  simu.multiply(a, b);
+  EXPECT_TRUE(local.events().empty());
+}
+
+#endif  // CRYPTOPIM_TRACING
+
+}  // namespace
+}  // namespace cryptopim::obs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/rng.h"
 #include "model/performance.h"
 #include "ntt/poly.h"
@@ -137,6 +139,34 @@ TEST(Sim, CommutativityUnderDomainAsymmetry) {
   const auto a = ntt::sample_uniform(p.n, p.q, rng);
   const auto b = ntt::sample_uniform(p.n, p.q, rng);
   EXPECT_EQ(simu.multiply(a, b), simu.multiply(b, a));
+}
+
+TEST(Sim, StageCyclesSumToWallCycles) {
+  // SimReport invariant across moduli and degrees: the per-stage ledger
+  // accounts for every wall cycle, with names parallel to the cycles.
+  // (q = 7681 only supports n <= 256: 7680 = 2^9 * 15 has no 2048th
+  // root, so that combination must be rejected at construction.)
+  for (const std::uint32_t q : {7681u, 12289u, 786433u}) {
+    for (const std::uint32_t n : {256u, 1024u}) {
+      if ((q - 1) % (2 * n) != 0) {
+        EXPECT_THROW(ntt::NttParams::make(n, q), std::invalid_argument)
+            << "n=" << n << " q=" << q;
+        continue;
+      }
+      const auto p = ntt::NttParams::make(n, q);
+      CryptoPimSimulator simu(p);
+      Xoshiro256 rng(n ^ q);
+      const auto a = ntt::sample_uniform(n, q, rng);
+      const auto b = ntt::sample_uniform(n, q, rng);
+      simu.multiply(a, b);
+      const auto& rep = simu.report();
+      ASSERT_FALSE(rep.stage_cycles.empty());
+      ASSERT_EQ(rep.stage_names.size(), rep.stage_cycles.size());
+      std::uint64_t sum = 0;
+      for (const auto c : rep.stage_cycles) sum += c;
+      EXPECT_EQ(sum, rep.wall_cycles) << "n=" << n << " q=" << q;
+    }
+  }
 }
 
 }  // namespace

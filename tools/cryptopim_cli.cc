@@ -10,16 +10,32 @@
 //                                              the 128-bank chip
 //   cryptopim kem [--seed S]                   run a full KEM handshake on
 //                                              the accelerator
-#include <cstring>
+//
+// Global flags:
+//   --json           machine-readable output (one JSON document on stdout)
+//   --trace=FILE     record the run as Chrome-trace JSON (open the file in
+//                    https://ui.perfetto.dev; 1 trace us = 1 cycle)
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/cryptopim.h"
 #include "crypto/kem.h"
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cp = cryptopim;
 
 namespace {
+
+struct Options {
+  bool json = false;
+  std::string trace_path;                ///< empty = no tracing
+  std::vector<std::string> args;         ///< command arguments, flags included
+};
 
 int usage() {
   std::cerr
@@ -27,24 +43,67 @@ int usage() {
          "  cryptopim multiply --degree N [--seed S]\n"
          "  cryptopim report [--degree N]\n"
          "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
-         "  cryptopim kem [--seed S]\n";
+         "  cryptopim kem [--seed S]\n"
+         "global flags: --json, --trace=FILE\n";
   return 2;
 }
 
-std::uint64_t arg_u64(int argc, char** argv, const char* name,
-                      std::uint64_t fallback) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) {
-      return std::stoull(argv[i + 1]);
+int bad_argument(const std::string& arg) {
+  std::cerr << "error: unknown argument: " << arg << "\n";
+  return usage();
+}
+
+/// Removes `--name <value>` from args and returns the value; `fallback`
+/// when absent. Throws std::invalid_argument on a trailing flag with no
+/// value or a non-numeric value.
+std::uint64_t take_u64(std::vector<std::string>& args, const std::string& name,
+                       std::uint64_t fallback) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != name) continue;
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(name + " requires a value");
     }
+    const std::uint64_t v = std::stoull(args[i + 1]);
+    args.erase(args.begin() + static_cast<long>(i),
+               args.begin() + static_cast<long>(i) + 2);
+    return v;
   }
   return fallback;
 }
 
-int cmd_multiply(int argc, char** argv) {
-  const auto n = static_cast<std::uint32_t>(
-      arg_u64(argc, argv, "--degree", 256));
-  const auto seed = arg_u64(argc, argv, "--seed", 1);
+/// After a command consumed everything it understands, anything left is
+/// an error. Returns nonzero (the process exit code) if so.
+int reject_leftovers(const std::vector<std::string>& args) {
+  if (args.empty()) return 0;
+  return bad_argument(args.front());
+}
+
+cp::obs::Json report_json(const cp::sim::SimReport& r) {
+  cp::obs::Json j = cp::obs::Json::object();
+  j.set("wall_cycles", r.wall_cycles);
+  j.set("latency_us", r.latency_us);
+  j.set("energy_uj", r.energy_uj);
+  j.set("stages", std::uint64_t{r.stages});
+  j.set("micro_ops", r.totals.micro_ops);
+  j.set("cell_events", r.totals.cell_events);
+  j.set("transfer_bits", r.totals.transfer_bits);
+  cp::obs::Json stages = cp::obs::Json::array();
+  for (std::size_t i = 0; i < r.stage_cycles.size(); ++i) {
+    cp::obs::Json s = cp::obs::Json::object();
+    s.set("name", i < r.stage_names.size() ? r.stage_names[i] : "?");
+    s.set("cycles", r.stage_cycles[i]);
+    stages.push_back(std::move(s));
+  }
+  j.set("stage_cycles", std::move(stages));
+  return j;
+}
+
+int cmd_multiply(const Options& opt) {
+  auto args = opt.args;
+  const auto n = static_cast<std::uint32_t>(take_u64(args, "--degree", 256));
+  const auto seed = take_u64(args, "--seed", 1);
+  if (const int rc = reject_leftovers(args)) return rc;
+
   cp::Accelerator acc(n);
   const auto& p = acc.params();
   cp::Xoshiro256 rng(seed);
@@ -53,16 +112,29 @@ int cmd_multiply(int argc, char** argv) {
   const auto c = acc.multiply(a, b);
   const bool ok = c == acc.multiply_software(a, b);
   const auto& r = acc.last_report();
-  std::cout << "n=" << n << " q=" << p.q << " seed=" << seed << "\n"
-            << "result:   " << (ok ? "bit-exact vs software NTT" : "MISMATCH")
-            << "\ncycles:   " << cp::fmt_i(r.wall_cycles) << " ("
-            << cp::fmt_f(r.latency_us) << " us)\nenergy:   "
-            << cp::fmt_f(r.energy_uj) << " uJ\nstages:   " << r.stages
-            << "\nmicroops: " << cp::fmt_i(r.totals.micro_ops) << "\n";
+  if (opt.json) {
+    cp::obs::Json j = cp::obs::Json::object();
+    j.set("command", "multiply");
+    j.set("n", std::uint64_t{n});
+    j.set("q", std::uint64_t{p.q});
+    j.set("seed", seed);
+    j.set("bit_exact", ok);
+    j.set("report", report_json(r));
+    j.set("metrics", cp::obs::metrics().snapshot());
+    j.write(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << "n=" << n << " q=" << p.q << " seed=" << seed << "\n"
+              << "result:   " << (ok ? "bit-exact vs software NTT" : "MISMATCH")
+              << "\ncycles:   " << cp::fmt_i(r.wall_cycles) << " ("
+              << cp::fmt_f(r.latency_us) << " us)\nenergy:   "
+              << cp::fmt_f(r.energy_uj) << " uJ\nstages:   " << r.stages
+              << "\nmicroops: " << cp::fmt_i(r.totals.micro_ops) << "\n";
+  }
   return ok ? 0 : 1;
 }
 
-void report_row(cp::Table& t, std::uint32_t n) {
+void report_row(cp::Table& t, cp::obs::Json& rows, std::uint32_t n) {
   const auto perf = cp::model::cryptopim_pipelined(n);
   const auto np = cp::model::cryptopim_non_pipelined(n);
   const auto plan = cp::arch::ChipConfig::paper_chip().plan_for_degree(n);
@@ -71,27 +143,49 @@ void report_row(cp::Table& t, std::uint32_t n) {
              cp::fmt_f(perf.latency_us), cp::fmt_f(np.latency_us),
              cp::fmt_i(static_cast<std::uint64_t>(perf.throughput_per_s)),
              cp::fmt_f(perf.energy_uj), std::to_string(plan.superbanks)});
+  cp::obs::Json j = cp::obs::Json::object();
+  j.set("n", std::uint64_t{n});
+  j.set("q", std::uint64_t{cp::ntt::paper_modulus_for_degree(n)});
+  j.set("pipelined_latency_us", perf.latency_us);
+  j.set("non_pipelined_latency_us", np.latency_us);
+  j.set("pipelined_throughput_per_s", perf.throughput_per_s);
+  j.set("pipelined_energy_uj", perf.energy_uj);
+  j.set("superbanks", std::uint64_t{plan.superbanks});
+  rows.push_back(std::move(j));
 }
 
-int cmd_report(int argc, char** argv) {
-  const auto n = static_cast<std::uint32_t>(arg_u64(argc, argv, "--degree", 0));
+int cmd_report(const Options& opt) {
+  auto args = opt.args;
+  const auto n = static_cast<std::uint32_t>(take_u64(args, "--degree", 0));
+  if (const int rc = reject_leftovers(args)) return rc;
+
   cp::Table t({"n", "q", "P lat (us)", "NP lat (us)", "P thr (/s)",
                "P energy (uJ)", "superbanks"});
+  cp::obs::Json rows = cp::obs::Json::array();
   if (n != 0) {
-    report_row(t, n);
+    report_row(t, rows, n);
   } else {
-    for (const auto d : cp::ntt::paper_degrees()) report_row(t, d);
+    for (const auto d : cp::ntt::paper_degrees()) report_row(t, rows, d);
   }
-  t.print(std::cout);
+  if (opt.json) {
+    cp::obs::Json j = cp::obs::Json::object();
+    j.set("command", "report");
+    j.set("rows", std::move(rows));
+    j.write(std::cout);
+    std::cout << "\n";
+  } else {
+    t.print(std::cout);
+  }
   return 0;
 }
 
-int cmd_schedule(int argc, char** argv) {
+int cmd_schedule(const Options& opt) {
   std::vector<cp::model::Job> jobs;
-  for (int i = 2; i < argc; ++i) {
-    const std::string spec = argv[i];
+  for (const std::string& spec : opt.args) {
     const auto colon = spec.find(':');
-    if (colon == std::string::npos) return usage();
+    if (spec.starts_with("--") || colon == std::string::npos) {
+      return bad_argument(spec);
+    }
     jobs.push_back(cp::model::Job{
         static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
         std::stoull(spec.substr(colon + 1))});
@@ -99,6 +193,27 @@ int cmd_schedule(int argc, char** argv) {
   if (jobs.empty()) return usage();
   const cp::model::ChipScheduler sched;
   const auto res = sched.schedule(jobs);
+  if (opt.json) {
+    cp::obs::Json j = cp::obs::Json::object();
+    j.set("command", "schedule");
+    cp::obs::Json batches = cp::obs::Json::array();
+    for (const auto& b : res.batches) {
+      cp::obs::Json bj = cp::obs::Json::object();
+      bj.set("degree", std::uint64_t{b.degree});
+      bj.set("multiplications", b.multiplications);
+      bj.set("superbanks", std::uint64_t{b.superbanks});
+      bj.set("segments", std::uint64_t{b.segments});
+      bj.set("duration_us", b.duration_us);
+      batches.push_back(std::move(bj));
+    }
+    j.set("batches", std::move(batches));
+    j.set("makespan_us", res.makespan_us);
+    j.set("utilization", res.utilization);
+    j.set("throughput_per_s", res.throughput_per_s);
+    j.write(std::cout);
+    std::cout << "\n";
+    return 0;
+  }
   cp::Table t({"degree", "mults", "superbanks", "segments", "batch (us)"});
   for (const auto& b : res.batches) {
     t.add_row({std::to_string(b.degree), cp::fmt_i(b.multiplications),
@@ -114,8 +229,11 @@ int cmd_schedule(int argc, char** argv) {
   return 0;
 }
 
-int cmd_kem(int argc, char** argv) {
-  const auto seed_v = arg_u64(argc, argv, "--seed", 7);
+int cmd_kem(const Options& opt) {
+  auto args = opt.args;
+  const auto seed_v = take_u64(args, "--seed", 7);
+  if (const int rc = reject_leftovers(args)) return rc;
+
   cp::crypto::KemScheme kem;
   cp::sim::CryptoPimSimulator simu(
       cp::ntt::NttParams::for_degree(kem.pke().params().n));
@@ -130,10 +248,33 @@ int cmd_kem(int argc, char** argv) {
   const auto [ct, key_enc] = kem.encapsulate(pk, es);
   const auto key_dec = kem.decapsulate(sk, ct);
   const bool ok = key_enc == key_dec;
-  std::cout << "KEM handshake: " << (ok ? "shared secret agreed" : "FAILED")
-            << " (" << kem.pke().multiplications()
-            << " ring multiplications on the accelerator)\n";
+  if (opt.json) {
+    cp::obs::Json j = cp::obs::Json::object();
+    j.set("command", "kem");
+    j.set("seed", seed_v);
+    j.set("shared_secret_agreed", ok);
+    j.set("ring_multiplications", kem.pke().multiplications());
+    j.set("metrics", cp::obs::metrics().snapshot());
+    j.write(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << "KEM handshake: " << (ok ? "shared secret agreed" : "FAILED")
+              << " (" << kem.pke().multiplications()
+              << " ring multiplications on the accelerator)\n";
+  }
   return ok ? 0 : 1;
+}
+
+int write_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot open trace file " << path << "\n";
+    return 1;
+  }
+  cp::obs::tracer().write_chrome_trace(os);
+  std::cerr << "[trace: " << path << ", "
+            << cp::obs::tracer().events().size() << " events]\n";
+  return 0;
 }
 
 }  // namespace
@@ -141,14 +282,43 @@ int cmd_kem(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  Options opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      opt.json = true;
+    } else if (a.starts_with("--trace=")) {
+      opt.trace_path = a.substr(8);
+      if (opt.trace_path.empty()) return bad_argument(a);
+    } else {
+      opt.args.push_back(a);
+    }
+  }
+  if (!opt.trace_path.empty()) {
+#if !CRYPTOPIM_TRACING
+    std::cerr << "error: --trace requires a build with CRYPTOPIM_TRACING=ON\n";
+    return 2;
+#endif
+    cp::obs::tracer().clear();
+    cp::obs::tracer().set_enabled(true);
+  }
   try {
-    if (cmd == "multiply") return cmd_multiply(argc, argv);
-    if (cmd == "report") return cmd_report(argc, argv);
-    if (cmd == "schedule") return cmd_schedule(argc, argv);
-    if (cmd == "kem") return cmd_kem(argc, argv);
+    int rc;
+    if (cmd == "multiply") rc = cmd_multiply(opt);
+    else if (cmd == "report") rc = cmd_report(opt);
+    else if (cmd == "schedule") rc = cmd_schedule(opt);
+    else if (cmd == "kem") rc = cmd_kem(opt);
+    else {
+      std::cerr << "error: unknown command: " << cmd << "\n";
+      return usage();
+    }
+    if (!opt.trace_path.empty()) {
+      const int trc = write_trace(opt.trace_path);
+      if (rc == 0) rc = trc;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }

@@ -1,0 +1,39 @@
+// json_check — validates that each argument file parses as JSON.
+//
+// Used by tools/run_benches.sh (and the bench_smoke ctest) to assert that
+// every bench emitted a well-formed bench_<name>.json, and by the CLI
+// smoke tests on --trace output. Exit 0 iff every file parses.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: json_check <file.json> [<file.json> ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream is(path);
+    if (!is) {
+      std::cerr << "json_check: cannot read " << path << "\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    const auto r = cryptopim::obs::parse_json(text);
+    if (!r.ok) {
+      std::cerr << "json_check: " << path << ": " << r.error << "\n";
+      ++failures;
+    } else {
+      std::cout << "ok " << path << " (" << text.size() << " bytes)\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
