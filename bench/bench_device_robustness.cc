@@ -3,11 +3,13 @@
 // observed a maximum 25.6% reduction in resistance noise margin with no
 // functional failures thanks to the high R_off/R_on ratio.
 #include <iostream>
+#include <string>
 
 #include "common/rng.h"
 #include "common/table.h"
 #include "obs/bench_report.h"
 #include "pim/device.h"
+#include "reliability/campaign.h"
 
 namespace cp = cryptopim;
 
@@ -41,6 +43,43 @@ int main() {
                "R_off/R_on = "
             << dev.r_off_ohm / dev.r_on_ohm
             << " keeps the divider margin near 1.\n";
+
+  // Beyond analog noise margins: a functional fault campaign. The paper
+  // assumes fault-free crossbars; here stuck-at endurance faults are
+  // injected into a simulated n=256 multiplication and the functional
+  // failure rate — trials where no correct result could be delivered
+  // despite verify/retry/remap — is measured per fault rate.
+  std::cout << "\n== Functional failure rate under stuck-at faults ==\n\n";
+  cp::reliability::CampaignConfig cfg;
+  cfg.n = 256;
+  cfg.q = 7681;
+  cfg.stuck_rates = {0.0, 1e-6, 1e-5};
+  cfg.verify_points = 2;
+  cfg.trials_per_rate = 3;
+  cfg.seed = 2020;
+  const auto campaign = cp::reliability::run_fault_campaign(cfg);
+  cp::Table ft({"stuck rate", "trials", "injected", "recovered", "unrec",
+                "escaped", "functional fail"});
+  for (const auto& cell : campaign.cells) {
+    const double fail_rate =
+        static_cast<double>(cell.unrecoverable + cell.escaped) /
+        static_cast<double>(cell.trials);
+    const cp::obs::BenchReporter::Params fp = {
+        {"stuck_rate", cp::fmt_f(cell.stuck_rate, 6)}};
+    rep.add("functional_failure_rate", fail_rate, "ratio", fp);
+    rep.add("campaign_injected", static_cast<double>(cell.injected), "cells",
+            fp);
+    rep.add("campaign_escaped", static_cast<double>(cell.escaped), "trials",
+            fp);
+    ft.add_row({cp::fmt_f(cell.stuck_rate, 6), cp::fmt_i(cell.trials),
+                cp::fmt_i(cell.injected), cp::fmt_i(cell.recovered),
+                cp::fmt_i(cell.unrecoverable), cp::fmt_i(cell.escaped),
+                cp::fmt_pct(fail_rate, 1)});
+  }
+  ft.print(std::cout);
+  std::cout << "\nDetected faults are retried and remapped to spare\n"
+               "columns/banks; zero escapes means no wrong result was ever\n"
+               "delivered as verified.\n";
   rep.write_default();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "arch/chip.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -13,26 +14,46 @@ unsigned ChipConfig::bank_blocks_for_degree(std::uint32_t n) {
 }
 
 DegreePlan ChipConfig::plan_for_degree(std::uint32_t n) const {
+  return plan_for_degree(n, 0);
+}
+
+DegreePlan ChipConfig::plan_for_degree(std::uint32_t n,
+                                       unsigned failed_banks) const {
   if (!is_pow2(n) || n < 4) {
     throw std::invalid_argument("degree must be a power of two >= 4");
   }
+  // Spares absorb failures one-for-one; only the excess eats into the
+  // working set.
+  const unsigned covered = std::min(failed_banks, spare_banks);
+  const unsigned lost = failed_banks - covered;
+  if (lost >= total_banks) {
+    throw std::runtime_error("chip out of banks: no superbank can be formed");
+  }
+  const unsigned usable = total_banks - lost;
+
   DegreePlan plan;
   plan.n = n;
+  plan.failed_banks = failed_banks;
+  plan.spares_used = covered;
+  plan.degraded = lost > 0;
   if (n <= design_max_n) {
     plan.banks_per_softbank =
         n <= kElementsPerBank ? 1u : n / kElementsPerBank;
     plan.banks_per_superbank = 2 * plan.banks_per_softbank;
-    plan.superbanks = total_banks / plan.banks_per_superbank;
+    plan.superbanks = usable / plan.banks_per_superbank;
     plan.segments = 1;
   } else {
     // Inputs above the design point are cut into 32k segments and fed
     // through the hardware iteratively (Section III-D.2).
     plan.banks_per_softbank = design_max_n / kElementsPerBank;
     plan.banks_per_superbank = 2 * plan.banks_per_softbank;
-    plan.superbanks = total_banks / plan.banks_per_superbank;
+    plan.superbanks = usable / plan.banks_per_superbank;
     plan.segments = n / design_max_n;
   }
-  assert(plan.superbanks >= 1);
+  if (plan.superbanks == 0) {
+    throw std::runtime_error(
+        "chip out of banks: no superbank can be formed at this degree");
+  }
   return plan;
 }
 

@@ -25,6 +25,12 @@ struct DegreePlan {
   unsigned banks_per_superbank = 0;
   unsigned superbanks = 0;   ///< parallel multiplications in flight
   unsigned segments = 1;     ///< >1: iterative 32k-segment processing
+  // -- graceful degradation (reliability) -----------------------------------
+  unsigned failed_banks = 0;  ///< banks out of service when planning
+  unsigned spares_used = 0;   ///< chip spares covering failed banks
+  /// Failures exceeded the spare pool: the plan runs fewer parallel
+  /// multiplications than a healthy chip would.
+  bool degraded = false;
 };
 
 struct ChipConfig {
@@ -38,6 +44,10 @@ struct ChipConfig {
   unsigned blocks_per_bank = 49;
   /// 64 banks per input polynomial at 32k -> 128 per multiplication.
   unsigned total_banks = 128;
+  /// Spare banks held out of the working set for bank-level repair
+  /// (reliability layer). Spares stand in for failed working banks
+  /// one-for-one; only failures beyond the spare pool shrink the plan.
+  unsigned spare_banks = 8;
 
   static ChipConfig paper_chip() { return ChipConfig{}; }
 
@@ -46,6 +56,12 @@ struct ChipConfig {
 
   /// Partition (or segment) the chip for a given polynomial degree.
   DegreePlan plan_for_degree(std::uint32_t n) const;
+
+  /// Same, but with `failed_banks` banks out of service. Spares absorb
+  /// failures one-for-one; once the pool is dry the usable bank count
+  /// shrinks and the plan degrades to fewer superbanks (never fewer
+  /// than 1 — a chip that cannot host a single superbank throws).
+  DegreePlan plan_for_degree(std::uint32_t n, unsigned failed_banks) const;
 
   /// Total memory blocks on the chip.
   std::uint64_t total_blocks() const {

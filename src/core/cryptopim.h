@@ -12,6 +12,7 @@
 //   model/      analytic latency/energy model (regenerates the paper's
 //               tables and figures)
 //   baselines/  BP-1/2/3 PIM baselines, CPU/FPGA reference points
+//   reliability/ fault injection, Freivalds verification, retry/remap
 //   sim/        cycle-accounted functional simulation of the full design
 //
 // The Accelerator class below is the convenience front door used by the
@@ -44,6 +45,10 @@
 #include "pim/device.h"
 #include "pim/executor.h"
 #include "pim/switch.h"
+#include "reliability/campaign.h"
+#include "reliability/fault_model.h"
+#include "reliability/manager.h"
+#include "reliability/verifier.h"
 #include "sim/pipelined.h"
 #include "sim/simulator.h"
 
@@ -66,6 +71,13 @@ class Accelerator {
   /// c = a * b in R_q, computed in simulated memory.
   ntt::Poly multiply(const ntt::Poly& a, const ntt::Poly& b) {
     return sim_.multiply(a, b);
+  }
+
+  /// Run every subsequent multiply() under the reliability layer (fault
+  /// injection, detection, retry/remap). Pass nullptr to detach; `rm`
+  /// must outlive the accelerator while attached.
+  void set_reliability(reliability::ReliabilityManager* rm) noexcept {
+    sim_.set_reliability(rm);
   }
 
   /// Software reference (the CPU-baseline path).

@@ -1,6 +1,7 @@
 #include "pim/block.h"
 
 #include <bit>
+#include <stdexcept>
 
 namespace cryptopim::pim {
 
@@ -28,21 +29,36 @@ std::size_t RowMask::count() const noexcept {
   return n;
 }
 
+namespace {
+
+// Host-facing surfaces must reject bad coordinates even under NDEBUG
+// (asserts compile out in release builds; silent wraparound would corrupt
+// neighbouring operands).
+void check_number_range(std::size_t row, Col base, unsigned width) {
+  if (row >= kBlockRows || width == 0 || width > 64 ||
+      static_cast<std::size_t>(base) + width > kBlockCols) {
+    throw std::invalid_argument("MemoryBlock number access out of range");
+  }
+}
+
+}  // namespace
+
 void MemoryBlock::write_number(std::size_t row, Col base, unsigned width,
-                               std::uint64_t value) noexcept {
-  assert(row < kBlockRows && base + width <= kBlockCols && width <= 64);
+                               std::uint64_t value) {
+  check_number_range(row, base, width);
   for (unsigned i = 0; i < width; ++i) {
     // MSB-first: bit (width-1-i) of the value goes to column base+i.
-    cols_[base + i].set(row, (value >> (width - 1 - i)) & 1u);
+    column(static_cast<Col>(base + i)).set(row, (value >> (width - 1 - i)) & 1u);
   }
 }
 
 std::uint64_t MemoryBlock::read_number(std::size_t row, Col base,
-                                       unsigned width) const noexcept {
-  assert(row < kBlockRows && base + width <= kBlockCols && width <= 64);
+                                       unsigned width) const {
+  check_number_range(row, base, width);
   std::uint64_t v = 0;
   for (unsigned i = 0; i < width; ++i) {
-    v = (v << 1) | static_cast<std::uint64_t>(cols_[base + i].get(row));
+    v = (v << 1) | static_cast<std::uint64_t>(
+                       column(static_cast<Col>(base + i)).get(row));
   }
   return v;
 }
@@ -53,15 +69,36 @@ void MemoryBlock::clear() noexcept {
 }
 
 void MemoryBlock::inject_stuck_at(Col col, std::size_t row, bool value) {
-  assert(col < kBlockCols && row < kBlockRows);
+  if (col >= kBlockCols || row >= kBlockRows) {
+    throw std::invalid_argument("MemoryBlock::inject_stuck_at out of range");
+  }
   faults_.push_back(
       StuckFault{col, static_cast<std::uint16_t>(row), value});
   enforce_faults();
 }
 
+void MemoryBlock::remap_column(Col logical, Col physical) {
+  if (logical >= kBlockCols || physical >= kBlockCols) {
+    throw std::invalid_argument("MemoryBlock::remap_column out of range");
+  }
+  if (!remap_) {
+    remap_ = std::make_unique<std::array<Col, kBlockCols>>();
+    for (std::size_t c = 0; c < kBlockCols; ++c) {
+      (*remap_)[c] = static_cast<Col>(c);
+    }
+  }
+  (*remap_)[logical] = physical;
+}
+
 void MemoryBlock::enforce_faults() noexcept {
   for (const auto& f : faults_) {
-    cols_[f.col].set(f.row, f.value);
+    auto& c = cols_[f.col];
+    if (c.get(f.row) != f.value) {
+      c.set(f.row, f.value);
+      // The preceding write tried to store the opposite bit: a
+      // program-verify failure in real ReRAM.
+      if (observer_ != nullptr) observer_->stuck_write(f.col, f.row, f.value);
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace cryptopim::pim {
@@ -80,12 +81,26 @@ class RowMask {
 
 /// A permanently failed cell: reads always return `value` regardless of
 /// writes (stuck-at-0 / stuck-at-1, the dominant ReRAM endurance failure
-/// mode). Used by the fault-injection tests to show that in-memory
-/// arithmetic corrupts detectably rather than silently wrapping.
+/// mode). Coordinates are *physical*: a fault names a cell of the array,
+/// not the logical column the periphery map (remap_column) may have
+/// steered away from it.
 struct StuckFault {
   Col col = 0;
   std::uint16_t row = 0;
   bool value = false;
+};
+
+/// Observer of program-verify failures, implemented by the reliability
+/// layer. ReRAM writes are program-verify cycles (SET/RESET then read
+/// back); a stuck cell that cannot take the intended value is visible to
+/// the write driver immediately. enforce_faults() models the readback:
+/// every bit it has to flip back to the stuck value is a write the cell
+/// refused, reported here.
+class WriteVerifyObserver {
+ public:
+  virtual ~WriteVerifyObserver() = default;
+  /// Physical cell (col, row) refused a write and holds `stuck_value`.
+  virtual void stuck_write(Col col, std::size_t row, bool stuck_value) = 0;
 };
 
 /// One 512x512 crossbar.
@@ -93,39 +108,71 @@ struct StuckFault {
 /// Numbers are stored MSB-first across consecutive columns (Section
 /// III-B.1: "N continuous memory cells in a row represent an N-bit number,
 /// with the first cell storing the Most Significant Bit").
+///
+/// Host-facing entry points (write_number, read_number, inject_stuck_at,
+/// remap_column) bounds-check unconditionally and throw
+/// std::invalid_argument — they are untrusted-input surfaces and must not
+/// corrupt memory in NDEBUG builds. The per-gate column() accessor stays
+/// assert-only: it sits on the hot path and its callers (executor,
+/// circuits) only produce column ids they allocated themselves.
 class MemoryBlock {
  public:
   ColumnBits& column(Col c) noexcept {
     assert(c < kBlockCols);
-    return cols_[c];
+    return cols_[remap_ ? (*remap_)[c] : c];
   }
   const ColumnBits& column(Col c) const noexcept {
     assert(c < kBlockCols);
-    return cols_[c];
+    return cols_[remap_ ? (*remap_)[c] : c];
   }
 
   /// Write an N-bit number into row `row`, MSB at column `base`.
   void write_number(std::size_t row, Col base, unsigned width,
-                    std::uint64_t value) noexcept;
+                    std::uint64_t value);
   /// Read the N-bit number whose MSB is at column `base` in row `row`.
-  std::uint64_t read_number(std::size_t row, Col base,
-                            unsigned width) const noexcept;
+  std::uint64_t read_number(std::size_t row, Col base, unsigned width) const;
 
   /// Reset every cell to 0 (power-on state). Stuck cells re-assert.
   void clear() noexcept;
 
   // -- fault injection --------------------------------------------------------
-  /// Mark a cell as permanently stuck. Enforced by enforce_faults(), which
-  /// the executor and the switches call after every mutation.
+  /// Mark a *physical* cell as permanently stuck. Enforced by
+  /// enforce_faults(), which the executor and the switches call after
+  /// every mutation.
   void inject_stuck_at(Col col, std::size_t row, bool value);
   void clear_faults() noexcept { faults_.clear(); }
   const std::vector<StuckFault>& faults() const noexcept { return faults_; }
-  /// Re-assert every stuck cell's value.
+  /// Re-assert every stuck cell's value. Bits actually flipped (i.e.
+  /// writes the cell refused) are reported to the attached
+  /// WriteVerifyObserver — attach it *after* planting faults so the
+  /// initial assertion stays silent.
   void enforce_faults() noexcept;
+  /// Attach the program-verify observer (nullptr detaches).
+  void set_write_verify(WriteVerifyObserver* obs) noexcept {
+    observer_ = obs;
+  }
+
+  // -- column remap (periphery repair) ----------------------------------------
+  /// Steer logical column `logical` to physical column `physical` — the
+  /// column-mux repair path: a worn-out column is abandoned in place and
+  /// a spare takes over its address. Applies to every access through
+  /// column() (gates, host I/O, switch transfers); stuck faults remain
+  /// addressed physically.
+  void remap_column(Col logical, Col physical);
+  /// Physical column currently serving logical column `c`.
+  Col physical_column(Col c) const noexcept {
+    return remap_ ? (*remap_)[c] : c;
+  }
+  bool has_remaps() const noexcept { return remap_ != nullptr; }
+  void clear_remaps() noexcept { remap_.reset(); }
 
  private:
   std::vector<ColumnBits> cols_ = std::vector<ColumnBits>(kBlockCols);
   std::vector<StuckFault> faults_;
+  WriteVerifyObserver* observer_ = nullptr;
+  // Identity when null (the common, fault-free case): one pointer test on
+  // the access path instead of an unconditional indirection.
+  std::unique_ptr<std::array<Col, kBlockCols>> remap_;
 };
 
 }  // namespace cryptopim::pim

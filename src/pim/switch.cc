@@ -15,6 +15,9 @@ void FixedFunctionSwitch::transfer(const MemoryBlock& src,
                                               : -static_cast<int>(stride_);
 
   MemoryBlock& dst = dst_exec.block();
+  // Even parity of the bits each source row puts on the wires, latched at
+  // the source sense amps alongside the data columns.
+  std::array<std::uint8_t, kBlockRows> sent_parity{};
   for (unsigned bit = 0; bit < src_op.width(); ++bit) {
     const ColumnBits& sc = src.column(src_op.col(bit));
     ColumnBits& dc = dst.column(dst_op.col(bit));
@@ -22,15 +25,37 @@ void FixedFunctionSwitch::transfer(const MemoryBlock& src,
       if (!mask.get(r)) continue;
       const long target = static_cast<long>(r) + offset;
       if (target < 0 || target >= static_cast<long>(kBlockRows)) continue;
-      dc.set(static_cast<std::size_t>(target), sc.get(r));
+      bool v = sc.get(r);
+      if (parity_) sent_parity[r] ^= static_cast<std::uint8_t>(v);
+      if (hooks_ != nullptr && hooks_->corrupt_bit()) v = !v;
+      dc.set(static_cast<std::size_t>(target), v);
     }
   }
   dst.enforce_faults();
-  // One column per cycle through the route.
+  if (parity_) {
+    // Destination-side recount: re-read the cells the transfer landed in
+    // (stuck faults have re-asserted by now, so in-cell corruption is
+    // visible too) and compare against the transmitted parity column.
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      if (!mask.get(r)) continue;
+      const long target = static_cast<long>(r) + offset;
+      if (target < 0 || target >= static_cast<long>(kBlockRows)) continue;
+      std::uint8_t got = 0;
+      for (unsigned bit = 0; bit < dst_op.width(); ++bit) {
+        got ^= static_cast<std::uint8_t>(
+            dst.column(dst_op.col(bit)).get(static_cast<std::size_t>(target)));
+      }
+      if (got != sent_parity[r]) {
+        hooks_->parity_mismatch(static_cast<std::size_t>(target));
+      }
+    }
+  }
+  // One column per cycle through the route (+1 for the parity column).
   const char* what = route == Route::kStraight ? "switch.straight"
                      : route == Route::kPlusS ? "switch.plus_s"
                                               : "switch.minus_s";
-  dst_exec.charge_transfer(src_op.width(), src_op.width(), what);
+  const unsigned cols = src_op.width() + (parity_ ? 1u : 0u);
+  dst_exec.charge_transfer(cols, cols, what);
 }
 
 }  // namespace cryptopim::pim

@@ -1,0 +1,82 @@
+// Fault campaign driver: sweep fault rates across many simulated
+// multiplications and tally how the reliability machinery responds.
+//
+// Every trial multiplies two seeded-random polynomials on a
+// CryptoPimSimulator with a ReliabilityManager attached, then compares
+// the delivered result against the software oracle
+// (GsNttEngine::negacyclic_multiply). Outcomes per trial:
+//
+//   * clean       — first attempt verified (faults, if any, were masked);
+//   * recovered   — detection fired, retry/remap delivered a verified,
+//                   correct result;
+//   * unrecoverable — the manager gave up (UnrecoverableFault); the chip
+//                   must degrade. No wrong data was delivered.
+//   * escaped     — a wrong result was delivered as verified. The
+//                   acceptance bar for the verification scheme is zero
+//                   escapes at points >= 2.
+//
+// The entire campaign is a pure function of CampaignConfig (all
+// randomness flows from config seeds), so reruns are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/params.h"
+#include "reliability/manager.h"
+
+namespace cryptopim::reliability {
+
+struct CampaignConfig {
+  std::uint32_t n = 256;
+  std::uint32_t q = 7681;
+  /// Stuck-at (endurance) rates to sweep, one campaign cell each.
+  std::vector<double> stuck_rates = {0.0, 1e-6, 1e-5, 1e-4};
+  double transient_rate = 0.0;
+  unsigned verify_points = 2;   ///< Freivalds points (0 disables)
+  bool parity = true;
+  unsigned trials_per_rate = 8; ///< multiplications per cell
+  unsigned max_retries = 4;
+  unsigned spare_cols_per_block = 8;
+  unsigned spare_banks = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Tallies of one swept fault rate.
+struct CampaignCell {
+  double stuck_rate = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t injected = 0;      ///< stuck cells exposed + transient flips
+  std::uint64_t detected = 0;      ///< trials where detection fired
+  std::uint64_t clean = 0;         ///< first attempt verified
+  std::uint64_t recovered = 0;     ///< correct after retry/remap
+  std::uint64_t unrecoverable = 0; ///< manager gave up (no wrong data out)
+  std::uint64_t escaped = 0;       ///< wrong result delivered as verified
+  std::uint64_t columns_remapped = 0;
+  std::uint64_t banks_remapped = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t wall_cycles = 0;       ///< final-attempt cycles, summed
+  std::uint64_t overhead_cycles = 0;   ///< verify + repair + retry, summed
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::vector<CampaignCell> cells;
+
+  std::uint64_t total_injected() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& c : cells) t += c.injected;
+    return t;
+  }
+  std::uint64_t total_escaped() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& c : cells) t += c.escaped;
+    return t;
+  }
+};
+
+/// Run the sweep. Deterministic in `cfg`; each (rate, trial) pair derives
+/// its own input polynomials and fault seed from cfg.seed.
+CampaignResult run_fault_campaign(const CampaignConfig& cfg);
+
+}  // namespace cryptopim::reliability

@@ -35,11 +35,37 @@ std::vector<ntt::Poly> PipelinedSimulator::multiply_stream(
   if (tracing) tr.set_enabled(false);
 
   CryptoPimSimulator simu(params_, device_);
+  simu.set_reliability(rel_);
   std::vector<ntt::Poly> results;
   results.reserve(pairs.size());
   std::vector<std::uint64_t> trace;
+  reliability::RelStats rel_total;
+  rel_total.verified = rel_ != nullptr;  // stays true only if every job is
   for (const auto& [a, b] : pairs) {
-    results.push_back(simu.multiply(a, b));
+    try {
+      results.push_back(simu.multiply(a, b));
+    } catch (...) {
+      if (tracing) tr.set_enabled(true);
+      throw;
+    }
+    if (rel_ != nullptr) {
+      // Sum the per-job ledgers into the batch ledger.
+      const auto& s = simu.report().reliability;
+      rel_total.enabled = true;
+      rel_total.verified = rel_total.verified && s.verified;
+      rel_total.attempts += s.attempts;
+      rel_total.faults_planted += s.faults_planted;
+      rel_total.transient_flips += s.transient_flips;
+      rel_total.parity_mismatches += s.parity_mismatches;
+      rel_total.verify_checks += s.verify_checks;
+      rel_total.verify_failures += s.verify_failures;
+      rel_total.columns_remapped += s.columns_remapped;
+      rel_total.banks_remapped += s.banks_remapped;
+      rel_total.wear_failures += s.wear_failures;
+      rel_total.verify_cycles += s.verify_cycles;
+      rel_total.repair_cycles += s.repair_cycles;
+      rel_total.retry_cycles += s.retry_cycles;
+    }
     if (trace.empty()) {
       trace = simu.report().stage_cycles;
     } else if (trace != simu.report().stage_cycles) {
@@ -68,6 +94,7 @@ std::vector<ntt::Poly> PipelinedSimulator::multiply_stream(
       static_cast<double>(report_.makespan_cycles) * device_.cycle_ns * 1e-3;
   report_.throughput_per_s =
       1.0 / (static_cast<double>(report_.beat_cycles) * device_.cycle_s());
+  report_.reliability = rel_total;
 
 #if CRYPTOPIM_TRACING
   if (tracing) {

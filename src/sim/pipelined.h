@@ -32,6 +32,11 @@ struct PipelineRunReport {
   std::uint64_t makespan_cycles = 0;  ///< fill + (jobs-1) * beat
   double makespan_us = 0;
   double throughput_per_s = 0;        ///< steady-state rate 1/beat
+  /// Reliability ledger summed over the batch's jobs (counters add up;
+  /// verified = every job verified). The makespan law above describes the
+  /// final successful attempt of each job; a retried job stalls the
+  /// stream for reliability.overhead_cycles() extra cycles in total.
+  reliability::RelStats reliability;
 };
 
 class PipelinedSimulator {
@@ -53,9 +58,17 @@ class PipelinedSimulator {
   /// one span per (job, stage) occupancy.
   static constexpr std::uint32_t kStageTrackBase = 1u << 17;
 
+  /// Attach a reliability manager: every job in the stream executes under
+  /// fault injection / verification / repair (see
+  /// CryptoPimSimulator::set_reliability). Non-owning; nullptr detaches.
+  void set_reliability(reliability::ReliabilityManager* rm) noexcept {
+    rel_ = rm;
+  }
+
  private:
   ntt::NttParams params_;
   pim::DeviceModel device_;
+  reliability::ReliabilityManager* rel_ = nullptr;
   PipelineRunReport report_;
 };
 

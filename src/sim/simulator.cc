@@ -51,16 +51,37 @@ CryptoPimSimulator::CryptoPimSimulator(const ntt::NttParams& params,
       width_(bit_length(params.q)) {}
 
 std::unique_ptr<CryptoPimSimulator::PolyState>
-CryptoPimSimulator::make_state() const {
+CryptoPimSimulator::make_state() {
   auto st = std::make_unique<PolyState>();
   st->width = width_;
   st->banks.resize(banks_);
-  for (auto& bank : st->banks) {
+  for (unsigned b = 0; b < banks_; ++b) {
+    auto& bank = st->banks[b];
+    // Faults and column remaps must land before the executor writes the
+    // constant rails, exactly like power-on of a (worn) physical block.
+    if (rel_ != nullptr) {
+      rel_->prepare_block(stage_counter_, b, bank.block);
+    }
     bank.exec = std::make_unique<pim::BlockExecutor>(
         bank.block, pim::RowMask::first_rows(rows_per_bank_), device_);
     bank.exec->reserve_region(kOwnBase, 3 * width_);
+    if (rel_ != nullptr) {
+      // Keep the repair pool out of the processing-column allocator.
+      bank.exec->reserve_region(rel_->spare_base(),
+                                rel_->config().spare_cols_per_block);
+    }
   }
+  ++stage_counter_;
   return st;
+}
+
+pim::FixedFunctionSwitch CryptoPimSimulator::make_switch(
+    unsigned stride) const {
+  pim::FixedFunctionSwitch sw(stride);
+  if (rel_ != nullptr) {
+    sw.set_fault_hooks(rel_->hooks(), rel_->parity_enabled());
+  }
+  return sw;
 }
 
 void CryptoPimSimulator::attach_obs(PolyState& st) const {
@@ -180,7 +201,7 @@ void CryptoPimSimulator::stage_scale(
     const std::vector<std::uint32_t>& factors_by_row) {
   auto next = make_state();
   attach_obs(*next);
-  const pim::FixedFunctionSwitch sw(0);
+  const pim::FixedFunctionSwitch sw = make_switch(0);
 
   // The controller compiles the stage microcode once (while bank 0
   // executes it) and broadcasts it to the remaining banks.
@@ -229,7 +250,7 @@ void CryptoPimSimulator::stage_butterfly(
 
   // --- transfers through the fixed-function switches -----------------------
   if (stride < rows_per_bank_) {
-    const pim::FixedFunctionSwitch sw(stride);
+    const pim::FixedFunctionSwitch sw = make_switch(stride);
     const pim::RowMask low = side_mask(rows_per_bank_, stride, false);
     const pim::RowMask high = side_mask(rows_per_bank_, stride, true);
     for (unsigned b = 0; b < banks_; ++b) {
@@ -249,7 +270,7 @@ void CryptoPimSimulator::stage_butterfly(
   } else {
     // Stride crosses banks: the partner sits in the paired bank at the
     // same row; inter-bank switches provide the straight connection.
-    const pim::FixedFunctionSwitch sw(0);
+    const pim::FixedFunctionSwitch sw = make_switch(0);
     const unsigned ds = stride / static_cast<unsigned>(rows_per_bank_);
     for (unsigned b = 0; b < banks_; ++b) {
       auto& dst = next->banks[b];
@@ -351,7 +372,7 @@ void CryptoPimSimulator::stage_pointwise(std::unique_ptr<PolyState>& a,
                                          std::unique_ptr<PolyState>& b) {
   auto next = make_state();
   attach_obs(*next);
-  const pim::FixedFunctionSwitch sw(0);
+  const pim::FixedFunctionSwitch sw = make_switch(0);
   pim::Program program;
   const std::vector<pim::RowMask> slots = {
       pim::RowMask::first_rows(rows_per_bank_)};
@@ -418,32 +439,11 @@ std::vector<std::uint32_t> CryptoPimSimulator::inverse_twiddles_by_row(
   return tw;
 }
 
-ntt::Poly CryptoPimSimulator::multiply(const ntt::Poly& a,
-                                       const ntt::Poly& b) {
-  if (a.size() != params_.n || b.size() != params_.n) {
-    throw std::invalid_argument("operand size does not match the degree");
-  }
-  for (const auto c : a) {
-    if (c >= params_.q) throw std::invalid_argument("coefficient >= q");
-  }
-  for (const auto c : b) {
-    if (c >= params_.q) throw std::invalid_argument("coefficient >= q");
-  }
+ntt::Poly CryptoPimSimulator::multiply_attempt(const ntt::Poly& a,
+                                               const ntt::Poly& b) {
   report_ = SimReport{};
   microcode_ = pim::Controller{};
-
-  active_metrics_ =
-      custom_metrics_ != nullptr ? custom_metrics_ : &obs::metrics();
-  obs::Tracer& tr = custom_tracer_ != nullptr ? *custom_tracer_ : obs::tracer();
-  active_tracer_ = (CRYPTOPIM_TRACING && tr.enabled()) ? &tr : nullptr;
-  if (active_tracer_ != nullptr) {
-    for (unsigned b = 0; b < banks_; ++b) {
-      active_tracer_->set_track_name(b, "bank " + std::to_string(b) + " (A)");
-      active_tracer_->set_track_name(kSoftbankTrackBase + b,
-                                     "softbank " + std::to_string(b) + " (B)");
-    }
-    active_tracer_->set_track_name(kPipelineTrack, "pipeline (critical path)");
-  }
+  stage_counter_ = 0;
 
   const std::uint32_t n = params_.n;
   const std::uint32_t q = params_.q;
@@ -512,6 +512,81 @@ ntt::Poly CryptoPimSimulator::multiply(const ntt::Poly& a,
   report_.latency_us =
       static_cast<double>(report_.wall_cycles) * device_.cycle_ns * 1e-3;
   report_.energy_uj = report_.totals.energy_fj(device_) * 1e-9;
+  return c;
+}
+
+ntt::Poly CryptoPimSimulator::multiply(const ntt::Poly& a,
+                                       const ntt::Poly& b) {
+  if (a.size() != params_.n || b.size() != params_.n) {
+    throw std::invalid_argument("operand size does not match the degree");
+  }
+  for (const auto c : a) {
+    if (c >= params_.q) throw std::invalid_argument("coefficient >= q");
+  }
+  for (const auto c : b) {
+    if (c >= params_.q) throw std::invalid_argument("coefficient >= q");
+  }
+
+  active_metrics_ =
+      custom_metrics_ != nullptr ? custom_metrics_ : &obs::metrics();
+  obs::Tracer& tr = custom_tracer_ != nullptr ? *custom_tracer_ : obs::tracer();
+  active_tracer_ = (CRYPTOPIM_TRACING && tr.enabled()) ? &tr : nullptr;
+  if (active_tracer_ != nullptr) {
+    for (unsigned b = 0; b < banks_; ++b) {
+      active_tracer_->set_track_name(b, "bank " + std::to_string(b) + " (A)");
+      active_tracer_->set_track_name(kSoftbankTrackBase + b,
+                                     "softbank " + std::to_string(b) + " (B)");
+    }
+    active_tracer_->set_track_name(kPipelineTrack, "pipeline (critical path)");
+  }
+
+  ntt::Poly c;
+  if (rel_ == nullptr) {
+    // Reliability-free fast path: identical execution and cycle
+    // accounting to the pre-reliability simulator (tested invariant).
+    c = multiply_attempt(a, b);
+  } else {
+    rel_->begin_run();
+    bool ok = false;
+    const unsigned attempts = rel_->config().max_retries + 1;
+    try {
+      for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        rel_->begin_attempt();
+        // A dirty attempt (parity / program-verify hit) still runs to
+        // completion: every stage block gets prepared and diagnosed, so
+        // one repair pass can fix all of them instead of rediscovering
+        // one faulty stage per retry.
+        c = multiply_attempt(a, b);
+        ok = rel_->verify(a, b, c);
+        if (ok) break;
+        // The attempt's wall cycles were wasted; diagnose and repair
+        // before going again (may throw UnrecoverableFault).
+        rel_->note_retry(report_.wall_cycles);
+        rel_->repair();
+      }
+    } catch (const reliability::UnrecoverableFault&) {
+      report_.reliability = rel_->stats();
+      report_.reliability.publish(*active_metrics_);
+      active_tracer_ = nullptr;
+      throw;
+    }
+    rel_->finish_run(ok);
+    report_.reliability = rel_->stats();
+    report_.reliability.publish(*active_metrics_);
+    if (!ok) {
+      active_tracer_ = nullptr;
+      throw reliability::UnrecoverableFault(
+          "result verification still failing after max_retries",
+          report_.reliability);
+    }
+#if CRYPTOPIM_TRACING
+    if (active_tracer_ != nullptr && report_.reliability.verify_cycles > 0) {
+      active_tracer_->emit(kPipelineTrack, "verify", "reliability",
+                           report_.wall_cycles,
+                           report_.reliability.verify_cycles);
+    }
+#endif
+  }
 
   active_metrics_->counter("cryptopim.sim.multiplies", "ops").add(1);
   active_metrics_->counter("cryptopim.sim.wall_cycles", "cycles")

@@ -36,6 +36,8 @@
 #include "pim/device.h"
 #include "pim/executor.h"
 #include "pim/program.h"
+#include "pim/switch.h"
+#include "reliability/manager.h"
 
 namespace cryptopim::sim {
 
@@ -52,6 +54,12 @@ struct SimReport {
   std::vector<std::uint64_t> stage_cycles;
   /// Stage names parallel to stage_cycles ("scale", "butterfly/s8", ...).
   std::vector<std::string> stage_names;
+  /// Fault-tolerance ledger of the run (enabled=false without a
+  /// ReliabilityManager attached; then wall_cycles is exactly the
+  /// reliability-free figure). wall_cycles covers the final successful
+  /// attempt; abandoned attempts are in reliability.retry_cycles and
+  /// verify/repair overheads in their own fields.
+  reliability::RelStats reliability;
 };
 
 class CryptoPimSimulator {
@@ -87,10 +95,29 @@ class CryptoPimSimulator {
   void set_tracer(obs::Tracer* tracer) noexcept { custom_tracer_ = tracer; }
   void set_metrics(obs::MetricsRegistry* reg) noexcept { custom_metrics_ = reg; }
 
+  // -- fault tolerance --------------------------------------------------------
+  // With a manager attached, every stage block gets its faults planted
+  // before use, switch transfers carry the parity column, results are
+  // Freivalds-verified, and failed attempts retry after repair
+  // (column/bank remap). multiply() then either returns a verified
+  // result or throws reliability::UnrecoverableFault (chip must
+  // degrade). Non-owning; nullptr (the default) keeps the exact
+  // reliability-free execution and cycle accounting.
+  void set_reliability(reliability::ReliabilityManager* rm) noexcept {
+    rel_ = rm;
+  }
+  reliability::ReliabilityManager* reliability_manager() const noexcept {
+    return rel_;
+  }
+
  private:
   struct PolyState;
 
-  std::unique_ptr<PolyState> make_state() const;
+  /// One full non-pipelined multiplication (one attempt). Fills report_.
+  ntt::Poly multiply_attempt(const ntt::Poly& a, const ntt::Poly& b);
+
+  std::unique_ptr<PolyState> make_state();
+  pim::FixedFunctionSwitch make_switch(unsigned stride) const;
   void load_input(PolyState& st, const ntt::Poly& p,
                   const std::vector<std::uint32_t>& scale_factors) const;
 
@@ -122,6 +149,10 @@ class CryptoPimSimulator {
   std::size_t rows_per_bank_ = 0;
   unsigned width_ = 0;  ///< datapath bit-width
   bool wall_enabled_ = true;
+  reliability::ReliabilityManager* rel_ = nullptr;
+  /// Stage states materialised so far this attempt — the physical block
+  /// index the fault model keys endurance failures on.
+  unsigned stage_counter_ = 0;
   SimReport report_;
   pim::Controller microcode_;
   obs::Tracer* custom_tracer_ = nullptr;

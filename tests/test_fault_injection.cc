@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "ntt/ntt.h"
+#include "ntt/params.h"
 #include "pim/circuits/arith.h"
 #include "pim/circuits/reduction.h"
 #include "pim/switch.h"
+#include "reliability/manager.h"
+#include "sim/pipelined.h"
 
 namespace cryptopim::pim {
 namespace {
@@ -123,6 +127,79 @@ TEST(StuckFault, SurvivesSwitchTransfer) {
   const auto out = de.host_read(dop);
   EXPECT_EQ(out[0], 0xFFu);
   EXPECT_EQ(out[1], 0xFEu);  // bit 0 stuck low
+}
+
+namespace {
+/// Records parity mismatches the switch's destination recount reports.
+struct ParityRecorder final : TransferFaultHooks {
+  bool corrupt_bit() override { return false; }
+  void parity_mismatch(std::size_t row) override { rows.push_back(row); }
+  std::vector<std::size_t> rows;
+};
+}  // namespace
+
+TEST(StuckFault, DestinationBlockFaultCaughtByTransferParity) {
+  // Satellite of the reliability story: a stuck cell in the *destination*
+  // block of a switch transfer flips the landed data, and the parity
+  // column's recount at the destination flags exactly that row.
+  MemoryBlock src, dst;
+  BlockExecutor se(src, RowMask::first_rows(4));
+  BlockExecutor de(dst, RowMask::first_rows(4));
+  const Operand so = se.alloc(8);
+  const Operand dop = de.alloc(8);
+  se.host_write(so, std::vector<std::uint64_t>{0xFF, 0xFF, 0xFF, 0xFF});
+  dst.inject_stuck_at(dop.col(0), 1, false);  // bit 0 of row 1 stuck low
+
+  ParityRecorder rec;
+  FixedFunctionSwitch sw(1);
+  sw.set_fault_hooks(&rec, /*parity=*/true);
+  sw.transfer(src, so, se.mask(), de, dop,
+              FixedFunctionSwitch::Route::kStraight);
+  ASSERT_EQ(rec.rows.size(), 1u);
+  EXPECT_EQ(rec.rows[0], 1u);
+  // The corruption itself still landed (detection, not correction).
+  EXPECT_EQ(de.host_read(dop)[1], 0xFEu);
+
+  // Without the parity column the same fault goes unnoticed in flight.
+  ParityRecorder deaf;
+  FixedFunctionSwitch sw2(1);
+  sw2.set_fault_hooks(&deaf, /*parity=*/false);
+  sw2.transfer(src, so, se.mask(), de, dop,
+              FixedFunctionSwitch::Route::kStraight);
+  EXPECT_TRUE(deaf.rows.empty());
+}
+
+TEST(StuckFault, MidPipelineFaultCaughtAndRecovered) {
+  // A stuck cell in a mid-pipeline stage block corrupts jobs streaming
+  // through the PipelinedSimulator; the reliability layer must catch it,
+  // remap the column, and deliver bit-exact results for every job.
+  const auto params = ntt::NttParams::for_degree(256);
+  reliability::ReliabilityConfig rc;
+  rc.verify.points = 2;
+  reliability::ReliabilityManager rm(rc, params);
+  rm.fault_model().add_stuck_at(/*block=*/7, /*col=*/10, /*row=*/4, true);
+
+  sim::PipelinedSimulator pipe(params);
+  pipe.set_reliability(&rm);
+  ntt::GsNttEngine engine(params);
+  Xoshiro256 rng(31);
+  std::vector<std::pair<ntt::Poly, ntt::Poly>> pairs;
+  for (int i = 0; i < 2; ++i) {
+    ntt::Poly a(params.n), b(params.n);
+    for (auto& c : a) c = static_cast<std::uint32_t>(rng.next_below(params.q));
+    for (auto& c : b) c = static_cast<std::uint32_t>(rng.next_below(params.q));
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  const auto results = pipe.multiply_stream(pairs);
+  ASSERT_EQ(results.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(results[i],
+              engine.negacyclic_multiply(pairs[i].first, pairs[i].second));
+  }
+  const auto& s = pipe.report().reliability;
+  EXPECT_TRUE(s.verified);
+  EXPECT_GT(s.parity_mismatches + s.write_verify_failures, 0u);
+  EXPECT_GE(s.columns_remapped, 1u);
 }
 
 TEST(StuckFault, ZeroRailFaultIsCatastrophic) {

@@ -154,6 +154,36 @@ TEST(Executor, ReservedRegionIsStickyAndUnallocatable) {
   }
 }
 
+TEST(MemoryBlock, HostApisThrowOnOutOfRangeEvenWithNdebug) {
+  // write_number/read_number/inject_stuck_at/remap_column are
+  // untrusted-input surfaces: they must bounds-check unconditionally, not
+  // via assert(). The default build is RelWithDebInfo (NDEBUG defined),
+  // so this test exercises exactly the Release-mode behaviour.
+#ifndef NDEBUG
+  GTEST_LOG_(INFO) << "assert() also active in this build";
+#endif
+  MemoryBlock blk;
+  // Row out of range.
+  EXPECT_THROW(blk.write_number(kBlockRows, 0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(blk.read_number(kBlockRows, 0, 8), std::invalid_argument);
+  // Width walks past the last column.
+  EXPECT_THROW(blk.write_number(0, kBlockCols - 4, 8, 1),
+               std::invalid_argument);
+  EXPECT_THROW(blk.read_number(0, kBlockCols - 4, 8), std::invalid_argument);
+  // Zero-width operand.
+  EXPECT_THROW(blk.write_number(0, 0, 0, 0), std::invalid_argument);
+  // Fault injection and remap bounds.
+  EXPECT_THROW(blk.inject_stuck_at(kBlockCols, 0, true),
+               std::invalid_argument);
+  EXPECT_THROW(blk.inject_stuck_at(0, kBlockRows, true),
+               std::invalid_argument);
+  EXPECT_THROW(blk.remap_column(kBlockCols, 0), std::invalid_argument);
+  EXPECT_THROW(blk.remap_column(0, kBlockCols), std::invalid_argument);
+  // The failed calls must not have corrupted the block.
+  blk.write_number(0, 0, 8, 0xA5);
+  EXPECT_EQ(blk.read_number(0, 0, 8), 0xA5u);
+}
+
 TEST(Executor, ExhaustionThrows) {
   MemoryBlock blk;
   BlockExecutor exec(blk, RowMask::all());

@@ -1,8 +1,11 @@
 // cryptopim — command-line front end to the library.
 //
 //   cryptopim multiply --degree N [--seed S]   run one multiplication in
-//                                              simulated crossbars, verify,
-//                                              report cycles/energy
+//             [--fault-rate R] [--fault-seed F] simulated crossbars, verify,
+//             [--verify T]                      report cycles/energy; with a
+//                                              fault rate, run under the
+//                                              reliability layer (inject,
+//                                              detect, retry/remap)
 //   cryptopim report [--degree N]              modelled hardware numbers
 //                                              (one degree or the Table II
 //                                              sweep)
@@ -15,8 +18,11 @@
 //   --json           machine-readable output (one JSON document on stdout)
 //   --trace=FILE     record the run as Chrome-trace JSON (open the file in
 //                    https://ui.perfetto.dev; 1 trace us = 1 cycle)
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,7 +46,8 @@ struct Options {
 int usage() {
   std::cerr
       << "usage:\n"
-         "  cryptopim multiply --degree N [--seed S]\n"
+         "  cryptopim multiply --degree N [--seed S] [--fault-rate R]\n"
+         "                     [--fault-seed F] [--verify T]\n"
          "  cryptopim report [--degree N]\n"
          "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
          "  cryptopim kem [--seed S]\n"
@@ -53,22 +60,80 @@ int bad_argument(const std::string& arg) {
   return usage();
 }
 
-/// Removes `--name <value>` from args and returns the value; `fallback`
-/// when absent. Throws std::invalid_argument on a trailing flag with no
-/// value or a non-numeric value.
-std::uint64_t take_u64(std::vector<std::string>& args, const std::string& name,
-                       std::uint64_t fallback) {
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] != name) continue;
-    if (i + 1 >= args.size()) {
-      throw std::invalid_argument(name + " requires a value");
-    }
-    const std::uint64_t v = std::stoull(args[i + 1]);
-    args.erase(args.begin() + static_cast<long>(i),
-               args.begin() + static_cast<long>(i) + 2);
-    return v;
+/// A malformed command line. main() prints the message and exits 2 (the
+/// usage exit code), distinct from runtime failures (exit 1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict full-token unsigned parse: rejects empty strings, signs,
+/// whitespace, trailing garbage ("12abc") and out-of-range values —
+/// std::stoull would accept the first three and wrap the fourth.
+std::uint64_t parse_u64(const std::string& name, const std::string& text) {
+  std::uint64_t v = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [p, ec] = std::from_chars(begin, end, v);
+  if (text.empty() || ec != std::errc{} || p != end) {
+    throw UsageError(name + " expects an unsigned integer, got '" + text +
+                     "'");
   }
-  return fallback;
+  return v;
+}
+
+/// Removes `--name <value>` or `--name=<value>` from args and returns the
+/// raw value, or nullopt when the flag is absent.
+std::optional<std::string> take_value(std::vector<std::string>& args,
+                                      const std::string& name) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == name) {
+      if (i + 1 >= args.size()) {
+        throw UsageError(name + " requires a value");
+      }
+      std::string v = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      return v;
+    }
+    if (args[i].size() > name.size() + 1 && args[i].starts_with(name) &&
+        args[i][name.size()] == '=') {
+      std::string v = args[i].substr(name.size() + 1);
+      args.erase(args.begin() + static_cast<long>(i));
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+/// `--name` as an unsigned integer in [min, max]; `fallback` when absent.
+std::uint64_t take_u64(std::vector<std::string>& args, const std::string& name,
+                       std::uint64_t fallback, std::uint64_t min = 0,
+                       std::uint64_t max = ~std::uint64_t{0}) {
+  const auto v = take_value(args, name);
+  if (!v) return fallback;
+  const std::uint64_t parsed = parse_u64(name, *v);
+  if (parsed < min || parsed > max) {
+    throw UsageError(name + " must be in [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "], got " + std::to_string(parsed));
+  }
+  return parsed;
+}
+
+/// `--name` as a probability in [0, 1]; `fallback` when absent.
+double take_rate(std::vector<std::string>& args, const std::string& name,
+                 double fallback) {
+  const auto v = take_value(args, name);
+  if (!v) return fallback;
+  const char* begin = v->c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (v->empty() || end != begin + v->size()) {
+    throw UsageError(name + " expects a number, got '" + *v + "'");
+  }
+  if (!(parsed >= 0.0 && parsed <= 1.0)) {
+    throw UsageError(name + " must be in [0, 1], got '" + *v + "'");
+  }
+  return parsed;
 }
 
 /// After a command consumed everything it understands, anything left is
@@ -98,18 +163,71 @@ cp::obs::Json report_json(const cp::sim::SimReport& r) {
   return j;
 }
 
+cp::obs::Json reliability_json(const cp::reliability::RelStats& s) {
+  cp::obs::Json j = cp::obs::Json::object();
+  j.set("verified", s.verified);
+  j.set("attempts", std::uint64_t{s.attempts});
+  j.set("faults_planted", s.faults_planted);
+  j.set("transient_flips", s.transient_flips);
+  j.set("parity_mismatches", s.parity_mismatches);
+  j.set("write_verify_failures", s.write_verify_failures);
+  j.set("verify_checks", s.verify_checks);
+  j.set("verify_failures", s.verify_failures);
+  j.set("columns_remapped", s.columns_remapped);
+  j.set("banks_remapped", s.banks_remapped);
+  j.set("verify_cycles", s.verify_cycles);
+  j.set("repair_cycles", s.repair_cycles);
+  j.set("retry_cycles", s.retry_cycles);
+  j.set("overhead_cycles", s.overhead_cycles());
+  return j;
+}
+
 int cmd_multiply(const Options& opt) {
   auto args = opt.args;
-  const auto n = static_cast<std::uint32_t>(take_u64(args, "--degree", 256));
+  const auto n = static_cast<std::uint32_t>(
+      take_u64(args, "--degree", 256, 4, 1u << 16));
+  if ((n & (n - 1)) != 0) {
+    throw UsageError("--degree must be a power of two, got " +
+                     std::to_string(n));
+  }
   const auto seed = take_u64(args, "--seed", 1);
+  const double fault_rate = take_rate(args, "--fault-rate", 0.0);
+  const auto fault_seed = take_u64(args, "--fault-seed", 1);
+  const auto verify_tok = take_value(args, "--verify");
   if (const int rc = reject_leftovers(args)) return rc;
+  const bool reliable = fault_rate > 0.0 || verify_tok.has_value();
+  unsigned verify_points = 2;
+  if (verify_tok) {
+    verify_points = static_cast<unsigned>(parse_u64("--verify", *verify_tok));
+    if (verify_points > 64) {
+      throw UsageError("--verify must be in [0, 64], got " + *verify_tok);
+    }
+  }
 
   cp::Accelerator acc(n);
   const auto& p = acc.params();
+  std::optional<cp::reliability::ReliabilityManager> rm;
+  if (reliable) {
+    cp::reliability::ReliabilityConfig rc;
+    rc.fault.stuck_rate = fault_rate;
+    rc.fault.seed = fault_seed;
+    rc.verify.points = verify_points;
+    rc.verify.seed = fault_seed ^ 0x5eed5eedULL;
+    rm.emplace(rc, p);
+    acc.set_reliability(&*rm);
+  }
   cp::Xoshiro256 rng(seed);
   const auto a = cp::ntt::sample_uniform(n, p.q, rng);
   const auto b = cp::ntt::sample_uniform(n, p.q, rng);
-  const auto c = acc.multiply(a, b);
+  cp::ntt::Poly c;
+  try {
+    c = acc.multiply(a, b);
+  } catch (const cp::reliability::UnrecoverableFault& e) {
+    std::cerr << "error: " << e.what() << " ("
+              << e.stats.banks_remapped << " banks failed; replan with "
+              << "ChipConfig::plan_for_degree(n, failed_banks))\n";
+    return 1;
+  }
   const bool ok = c == acc.multiply_software(a, b);
   const auto& r = acc.last_report();
   if (opt.json) {
@@ -119,6 +237,11 @@ int cmd_multiply(const Options& opt) {
     j.set("q", std::uint64_t{p.q});
     j.set("seed", seed);
     j.set("bit_exact", ok);
+    if (reliable) {
+      j.set("fault_rate", fault_rate);
+      j.set("fault_seed", fault_seed);
+      j.set("reliability", reliability_json(r.reliability));
+    }
     j.set("report", report_json(r));
     j.set("metrics", cp::obs::metrics().snapshot());
     j.write(std::cout);
@@ -130,6 +253,18 @@ int cmd_multiply(const Options& opt) {
               << cp::fmt_f(r.latency_us) << " us)\nenergy:   "
               << cp::fmt_f(r.energy_uj) << " uJ\nstages:   " << r.stages
               << "\nmicroops: " << cp::fmt_i(r.totals.micro_ops) << "\n";
+    if (reliable) {
+      const auto& s = r.reliability;
+      std::cout << "reliability: " << (s.verified ? "verified" : "UNVERIFIED")
+                << " in " << s.attempts << " attempt(s), "
+                << s.faults_planted << " faults planted, "
+                << s.write_verify_failures << " write-verify + "
+                << s.parity_mismatches << " parity + "
+                << s.verify_failures << " freivalds detections, "
+                << s.columns_remapped << " columns / " << s.banks_remapped
+                << " banks remapped, " << cp::fmt_i(s.overhead_cycles())
+                << " overhead cycles\n";
+    }
   }
   return ok ? 0 : 1;
 }
@@ -156,7 +291,12 @@ void report_row(cp::Table& t, cp::obs::Json& rows, std::uint32_t n) {
 
 int cmd_report(const Options& opt) {
   auto args = opt.args;
-  const auto n = static_cast<std::uint32_t>(take_u64(args, "--degree", 0));
+  const auto n = static_cast<std::uint32_t>(
+      take_u64(args, "--degree", 0, 0, 1u << 16));
+  if (n != 0 && (n & (n - 1)) != 0) {
+    throw UsageError("--degree must be a power of two, got " +
+                     std::to_string(n));
+  }
   if (const int rc = reject_leftovers(args)) return rc;
 
   cp::Table t({"n", "q", "P lat (us)", "NP lat (us)", "P thr (/s)",
@@ -186,9 +326,15 @@ int cmd_schedule(const Options& opt) {
     if (spec.starts_with("--") || colon == std::string::npos) {
       return bad_argument(spec);
     }
-    jobs.push_back(cp::model::Job{
-        static_cast<std::uint32_t>(std::stoul(spec.substr(0, colon))),
-        std::stoull(spec.substr(colon + 1))});
+    const std::uint64_t deg =
+        parse_u64("schedule spec degree", spec.substr(0, colon));
+    const std::uint64_t count =
+        parse_u64("schedule spec count", spec.substr(colon + 1));
+    if (deg == 0 || deg > (1u << 16)) {
+      throw UsageError("schedule spec degree must be in [1, 65536], got '" +
+                       spec + "'");
+    }
+    jobs.push_back(cp::model::Job{static_cast<std::uint32_t>(deg), count});
   }
   if (jobs.empty()) return usage();
   const cp::model::ChipScheduler sched;
@@ -317,6 +463,9 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = trc;
     }
     return rc;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -47,6 +47,7 @@ bench_cpu_ntt
 bench_ablation_bitwidth
 bench_rns_he
 bench_ablation_merged
+bench_fault_campaign
 "
 
 failures=0

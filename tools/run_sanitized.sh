@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the test suite under it. Any sanitizer report aborts the offending
+# test (-fno-sanitize-recover=all), so a green run means a clean sweep.
+#
+#   tools/run_sanitized.sh            # configure + build + ctest
+#   tools/run_sanitized.sh -R regex   # extra args are forwarded to ctest
+#
+# Uses a dedicated build directory (build-asan) so the regular build's
+# object files are untouched.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-asan"
+
+cmake -B "$build_dir" -S "$repo_root" -DCRYPTOPIM_SANITIZE=ON
+cmake --build "$build_dir" -j
+
+# abort_on_error gives a hard failure ctest can see; detect_leaks covers
+# the bench/CLI one-shot binaries too.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="abort_on_error=1:print_stacktrace=1"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" "$@"
