@@ -13,6 +13,8 @@
 //               tables and figures)
 //   baselines/  BP-1/2/3 PIM baselines, CPU/FPGA reference points
 //   reliability/ fault injection, Freivalds verification, retry/remap
+//   runtime/    online serving: discrete-event multi-tenant scheduler
+//               over superbank lanes (arrivals, policies, fairness)
 //   sim/        cycle-accounted functional simulation of the full design
 //
 // The Accelerator class below is the convenience front door used by the
@@ -49,6 +51,9 @@
 #include "reliability/fault_model.h"
 #include "reliability/manager.h"
 #include "reliability/verifier.h"
+#include "runtime/policy.h"
+#include "runtime/serving.h"
+#include "runtime/workload.h"
 #include "sim/pipelined.h"
 #include "sim/simulator.h"
 

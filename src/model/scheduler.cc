@@ -19,7 +19,7 @@ ScheduleResult ChipScheduler::schedule(std::span<const Job> jobs) const {
   double clock_us = 0;
   double busy_bank_us = 0;
   for (const auto& [degree, count] : by_degree) {
-    const auto plan = chip_.plan_for_degree(degree);
+    const auto plan = chip_.plan_for_degree(degree, failed_banks_);
     const auto perf = cryptopim_pipelined(std::min(degree, chip_.design_max_n));
 
     ScheduleBatch batch;

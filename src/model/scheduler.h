@@ -43,20 +43,30 @@ struct ScheduleResult {
 
 class ChipScheduler {
  public:
+  /// `failed_banks` schedules on a degraded chip: spares absorb failures
+  /// one-for-one, failures beyond the spare pool shrink every batch's
+  /// superbank count (arch::ChipConfig::plan_for_degree(n, failed)).
   explicit ChipScheduler(arch::ChipConfig chip = arch::ChipConfig::paper_chip(),
-                         double repartition_us = 0.0)
-      : chip_(chip), repartition_us_(repartition_us) {}
+                         double repartition_us = 0.0,
+                         unsigned failed_banks = 0)
+      : chip_(chip),
+        repartition_us_(repartition_us),
+        failed_banks_(failed_banks) {}
 
   const arch::ChipConfig& chip() const noexcept { return chip_; }
+  unsigned failed_banks() const noexcept { return failed_banks_; }
 
   /// Schedule a mixed-degree job list: jobs are grouped by degree
   /// (largest first, so expensive classes reveal the critical path early)
-  /// and each class streams through a dedicated chip partition.
+  /// and each class streams through a dedicated chip partition. Throws
+  /// (from plan_for_degree) when a degree is invalid or the degraded
+  /// chip cannot host a single superbank for it.
   ScheduleResult schedule(std::span<const Job> jobs) const;
 
  private:
   arch::ChipConfig chip_;
   double repartition_us_;
+  unsigned failed_banks_ = 0;
 };
 
 }  // namespace cryptopim::model

@@ -51,6 +51,13 @@ class Histogram {
   std::uint64_t bucket(unsigned i) const { return buckets_[i]; }
   const std::string& unit() const noexcept { return unit_; }
 
+  /// Approximate p-quantile from the pow2 buckets: the upper edge of the
+  /// bucket holding the p-th sample, clamped to [min, max] (so exact at
+  /// the extremes). p <= 0 returns min, p >= 1 returns max, empty
+  /// histogram returns 0. Good to a factor of two — the resolution the
+  /// serving runtime's p50/p99/p999 latency reporting needs.
+  std::uint64_t quantile(double p) const noexcept;
+
  private:
   friend class MetricsRegistry;
   std::uint64_t count_ = 0;

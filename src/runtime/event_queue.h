@@ -1,0 +1,66 @@
+// Discrete-event clock for the serving runtime.
+//
+// Events live in the same cycle domain as the performance model and the
+// tracer: one unit = one crossbar cycle. The queue is a min-heap keyed
+// on (cycle, sequence) — the sequence number is assigned at push, so
+// events scheduled for the same cycle pop in push order. That tie-break
+// is what makes the whole simulation deterministic: two runs with the
+// same seed schedule the same events in the same order and therefore
+// produce bit-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "runtime/request.h"
+
+namespace cryptopim::runtime {
+
+enum class EventKind : std::uint8_t {
+  kArrival,      ///< a request enters the admission queue
+  kQueueScan,    ///< a lane (or a carved lane) becomes free: try dispatch
+  kCompletion,   ///< a dispatched request drains from its pipeline
+  kBankFailure,  ///< a physical bank drops out mid-stream
+};
+
+struct Event {
+  std::uint64_t cycle = 0;
+  std::uint64_t seq = 0;  ///< push order; breaks same-cycle ties
+  EventKind kind = EventKind::kQueueScan;
+  std::uint64_t dispatch_id = 0;  ///< kCompletion: which in-flight entry
+  Request request;                ///< kArrival payload
+};
+
+class EventQueue {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(Event e) {
+    e.seq = next_seq_++;
+    heap_.push(std::move(e));
+  }
+
+  /// Pops the earliest event (lowest cycle, then lowest sequence).
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  const Event& peek() const { return heap_.top(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.cycle != b.cycle) return a.cycle > b.cycle;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cryptopim::runtime

@@ -1,0 +1,61 @@
+// Scheduling policies for the serving runtime.
+//
+// A policy orders the admission queue: every time a superbank lane can
+// accept work, the runtime asks the policy which eligible request goes
+// next. Policies are stateless rankers — all queue and fairness state
+// lives in the runtime and is passed in through PolicyContext — so one
+// policy instance can serve any number of runs.
+//
+//   fifo  arrival order (baseline; head-of-line blocking under mixes)
+//   sjf   shortest service time first (best mean latency, can starve
+//         large degrees)
+//   edf   earliest deadline first; requests without a deadline rank
+//         after all deadlined ones, in arrival order
+//   wfq   weighted fair queueing over tenants: pick the request of the
+//         eligible tenant with the lowest bank-cycle usage normalised
+//         by its weight (max-min fairness in bank-time)
+//
+// Every comparison falls back to (arrival, id) so the ranking is a
+// total order and runs are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/request.h"
+
+namespace cryptopim::runtime {
+
+struct PolicyContext {
+  std::uint64_t now = 0;
+  /// Per-tenant consumed bank-cycles divided by tenant weight (wfq).
+  std::span<const double> tenant_usage;
+};
+
+class Policy {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  virtual ~Policy() = default;
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Index of the request to serve next among `queue` entries whose
+  /// `eligible` flag is set (the runtime masks degree classes that
+  /// cannot dispatch right now); npos when none is eligible.
+  virtual std::size_t pick(std::span<const Request> queue,
+                           const std::vector<bool>& eligible,
+                           const PolicyContext& ctx) const = 0;
+};
+
+/// Factory: "fifo", "sjf", "edf" or "wfq"; nullptr for unknown names
+/// (the CLI turns that into a usage error).
+std::unique_ptr<Policy> make_policy(std::string_view name);
+
+/// The recognised policy names, for --help and benches.
+const std::vector<std::string>& policy_names();
+
+}  // namespace cryptopim::runtime

@@ -1,0 +1,35 @@
+// A served polynomial-multiplication request: the unit of work flowing
+// through the online serving runtime (src/runtime/serving.*).
+//
+// Requests are modelled, not materialised: a request names a degree
+// class, a tenant and (optionally) a deadline, and the runtime charges
+// the cycle cost the hardware model predicts for it. A sampled subset
+// (`verify = true`) additionally carries a data seed; on completion the
+// runtime materialises the operands, produces the product through the
+// software mirror of the datapath and Freivalds-checks it, so a serving
+// run ends with actually-verified results rather than only cycle
+// accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace cryptopim::runtime {
+
+struct Request {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t degree = 0;
+  std::uint32_t client = 0;          ///< closed-loop client that issued it
+  std::uint64_t arrival_cycle = 0;
+  /// Absolute cycle the tenant wants the result by; 0 = no deadline.
+  std::uint64_t deadline_cycle = 0;
+  /// Unloaded service latency (pipeline fill + extra segment beats),
+  /// filled in at admission from the performance model. This is what
+  /// shortest-job-first orders on.
+  std::uint64_t service_cycles = 0;
+  /// Carry data: on completion the result is Freivalds-verified.
+  bool verify = false;
+  std::uint64_t data_seed = 0;
+};
+
+}  // namespace cryptopim::runtime

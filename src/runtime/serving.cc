@@ -1,0 +1,602 @@
+#include "runtime/serving.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "model/performance.h"
+#include "ntt/ntt.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+#include "obs/trace.h"
+#include "reliability/verifier.h"
+
+namespace cryptopim::runtime {
+
+namespace {
+
+/// Cycle geometry of one superbank lane configured for a degree class,
+/// derived from the same performance model the offline scheduler uses:
+/// one request enters per `segments * beat` cycles and completes a fill
+/// (plus any extra segment beats) after entering.
+struct LaneGeometry {
+  unsigned banks = 0;       ///< banks_per_superbank
+  unsigned segments = 1;
+  std::uint64_t beat = 0;   ///< slowest-stage cycles
+  std::uint64_t fill = 0;   ///< depth * beat
+  std::uint64_t service() const noexcept {
+    return fill + (segments - 1) * beat;
+  }
+  std::uint64_t occupancy() const noexcept { return segments * beat; }
+};
+
+LaneGeometry geometry_for(const arch::ChipConfig& chip, std::uint32_t degree) {
+  // Geometry (banks per superbank, segments) is degree-intrinsic; the
+  // failed-bank count only shrinks how many lanes fit, which the
+  // runtime's own bank pool accounts for. Cached per (design point,
+  // degree): cryptopim_pipelined measures stage latencies by executing
+  // the datapath, far too slow to re-run on every arrival.
+  thread_local std::map<std::pair<std::uint32_t, std::uint32_t>, LaneGeometry>
+      cache;
+  const auto key = std::make_pair(chip.design_max_n, degree);
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+
+  const auto plan = chip.plan_for_degree(degree);
+  const auto perf =
+      model::cryptopim_pipelined(std::min(degree, chip.design_max_n));
+  LaneGeometry g;
+  g.banks = plan.banks_per_superbank;
+  g.segments = plan.segments;
+  g.beat = perf.slowest_stage_cycles;
+  g.fill = static_cast<std::uint64_t>(perf.depth) * perf.slowest_stage_cycles;
+  cache.emplace(key, g);
+  return g;
+}
+
+}  // namespace
+
+// -- report -------------------------------------------------------------------
+
+double ServingReport::latency_us(double quantile) const {
+  return static_cast<double>(latency_cycles.quantile(quantile)) /
+         cycles_per_us;
+}
+
+obs::Json ServingReport::to_json() const {
+  obs::Json j = obs::Json::object();
+  j.set("schema", "serving/1");
+  j.set("policy", policy);
+  j.set("duration_cycles", duration_cycles);
+  j.set("drain_cycle", drain_cycle);
+  j.set("submitted", submitted);
+  j.set("admitted", admitted);
+  j.set("rejected", rejected);
+  j.set("rejected_unservable", rejected_unservable);
+  j.set("completed", completed);
+  j.set("in_flight", in_flight);
+  j.set("queued", queued);
+  j.set("repartitions", repartitions);
+  j.set("bank_failures", bank_failures);
+  j.set("retried", retried);
+  j.set("deadline_misses", deadline_misses);
+  j.set("verified", verified);
+  j.set("verify_failures", verify_failures);
+  j.set("busy_bank_cycles", busy_bank_cycles);
+  j.set("utilization", utilization);
+  j.set("throughput_per_s", throughput_per_s);
+  j.set("offered_per_s", offered_per_s);
+  obs::Json lat = obs::Json::object();
+  lat.set("count", latency_cycles.count());
+  lat.set("mean_cycles", latency_cycles.mean());
+  lat.set("p50_cycles", latency_cycles.quantile(0.50));
+  lat.set("p99_cycles", latency_cycles.quantile(0.99));
+  lat.set("p999_cycles", latency_cycles.quantile(0.999));
+  lat.set("p50_us", latency_us(0.50));
+  lat.set("p99_us", latency_us(0.99));
+  lat.set("p999_us", latency_us(0.999));
+  lat.set("max_cycles", latency_cycles.max());
+  j.set("latency", std::move(lat));
+  obs::Json qd = obs::Json::object();
+  qd.set("mean", queue_depth.mean());
+  qd.set("p99", queue_depth.quantile(0.99));
+  qd.set("max", queue_depth.max());
+  j.set("queue_depth", std::move(qd));
+  obs::Json ts = obs::Json::array();
+  for (const auto& [id, t] : tenants) {
+    obs::Json tj = obs::Json::object();
+    tj.set("tenant", std::uint64_t{id});
+    tj.set("weight", t.weight);
+    tj.set("submitted", t.submitted);
+    tj.set("admitted", t.admitted);
+    tj.set("rejected", t.rejected);
+    tj.set("completed", t.completed);
+    tj.set("deadline_misses", t.deadline_misses);
+    tj.set("bank_cycles", t.bank_cycles);
+    tj.set("p50_cycles", t.latency_cycles.quantile(0.50));
+    tj.set("p99_cycles", t.latency_cycles.quantile(0.99));
+    tj.set("p999_cycles", t.latency_cycles.quantile(0.999));
+    ts.push_back(std::move(tj));
+  }
+  j.set("tenants", std::move(ts));
+  return j;
+}
+
+// -- runtime ------------------------------------------------------------------
+
+struct ServingRuntime::Lane {
+  std::uint32_t degree = 0;
+  unsigned banks = 0;
+  std::uint64_t free_at = 0;  ///< earliest cycle the next request may enter
+  unsigned in_flight = 0;
+  bool dead = false;
+  std::uint32_t track = 0;
+};
+
+struct ServingRuntime::InFlight {
+  Request request;
+  std::size_t lane = 0;
+  std::uint64_t dispatched_at = 0;
+};
+
+ServingRuntime::ServingRuntime(ServingConfig cfg) : cfg_(std::move(cfg)) {}
+ServingRuntime::~ServingRuntime() = default;
+
+unsigned ServingRuntime::usable_banks() const noexcept {
+  const unsigned lost = failed_banks_ > cfg_.chip.spare_banks
+                            ? failed_banks_ - cfg_.chip.spare_banks
+                            : 0;
+  return lost >= cfg_.chip.total_banks ? 0 : cfg_.chip.total_banks - lost;
+}
+
+void ServingRuntime::schedule_scan(std::uint64_t cycle) {
+  if (!scan_cycles_.insert(cycle).second) return;  // already armed
+  Event e;
+  e.cycle = cycle;
+  e.kind = EventKind::kQueueScan;
+  events_.push(std::move(e));
+}
+
+ServingReport ServingRuntime::run() {
+  policy_ = make_policy(cfg_.policy);
+  if (!policy_) {
+    throw std::invalid_argument("unknown scheduling policy: " + cfg_.policy);
+  }
+  if (cfg_.workload.mix.empty()) {
+    throw std::invalid_argument("degree mix must not be empty");
+  }
+  for (const auto& share : cfg_.workload.mix) {
+    geometry_for(cfg_.chip, share.degree);  // throws on an invalid degree
+  }
+
+  const double cyc_per_us = cfg_.cycles_per_us();
+  const auto horizon =
+      static_cast<std::uint64_t>(cfg_.duration_us * cyc_per_us);
+  report_ = ServingReport{};
+  report_.policy = cfg_.policy;
+  report_.duration_cycles = horizon;
+  report_.cycles_per_us = cyc_per_us;
+
+  const std::uint32_t tenants = std::max<std::uint32_t>(cfg_.workload.tenants, 1);
+  tenant_usage_.assign(tenants, 0.0);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    TenantStats ts;
+    ts.weight = t < cfg_.tenant_weights.size() && cfg_.tenant_weights[t] > 0
+                    ? cfg_.tenant_weights[t]
+                    : 1.0;
+    report_.tenants.emplace(t, std::move(ts));
+  }
+
+  if (cfg_.closed_loop_clients > 0) {
+    const auto think =
+        static_cast<std::uint64_t>(cfg_.think_time_us * cyc_per_us);
+    workload_ = std::make_unique<ClosedLoop>(cfg_.workload,
+                                             cfg_.closed_loop_clients, think,
+                                             horizon);
+  } else {
+    const double rate_per_cycle = cfg_.arrival_rate_per_s / (1e9 / cfg_.cycle_ns);
+    if (rate_per_cycle <= 0) {
+      throw std::invalid_argument("arrival rate must be positive");
+    }
+    workload_ =
+        std::make_unique<OpenLoopPoisson>(cfg_.workload, rate_per_cycle,
+                                          horizon);
+  }
+
+  for (const auto& a : workload_->initial()) {
+    Event e;
+    e.cycle = a.cycle;
+    e.kind = EventKind::kArrival;
+    e.request = a.request;
+    events_.push(std::move(e));
+  }
+  if (cfg_.fail_bank_at_us > 0) {
+    Event e;
+    e.cycle = static_cast<std::uint64_t>(cfg_.fail_bank_at_us * cyc_per_us);
+    e.kind = EventKind::kBankFailure;
+    events_.push(std::move(e));
+  }
+
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    now_ = e.cycle;
+    report_.drain_cycle = std::max(report_.drain_cycle, now_);
+    switch (e.kind) {
+      case EventKind::kArrival: handle_arrival(e); break;
+      case EventKind::kQueueScan:
+        scan_cycles_.erase(e.cycle);
+        try_dispatch();
+        break;
+      case EventKind::kCompletion: handle_completion(e); break;
+      case EventKind::kBankFailure: handle_bank_failure(e); break;
+    }
+  }
+
+  // Anything still queued is starved: the chip degraded below its class's
+  // bank requirement mid-stream. Surface it rather than hanging.
+  report_.queued = pending_.size();
+  report_.in_flight = in_flight_.size();
+  pending_.clear();
+
+  if (report_.drain_cycle > 0) {
+    const double drain_s = static_cast<double>(report_.drain_cycle) *
+                           cfg_.cycle_ns * 1e-9;
+    report_.throughput_per_s = static_cast<double>(report_.completed) / drain_s;
+    report_.utilization =
+        static_cast<double>(report_.busy_bank_cycles) /
+        (static_cast<double>(cfg_.chip.total_banks) *
+         static_cast<double>(report_.drain_cycle));
+  }
+  if (horizon > 0) {
+    report_.offered_per_s = static_cast<double>(report_.submitted) /
+                            (static_cast<double>(horizon) * cfg_.cycle_ns *
+                             1e-9);
+  }
+  publish_metrics();
+  return report_;
+}
+
+void ServingRuntime::handle_arrival(const Event& e) {
+  Request r = e.request;
+  report_.submitted += 1;
+  TenantStats& ts = report_.tenants.at(r.tenant);
+  ts.submitted += 1;
+  report_.queue_depth.add(pending_.size());
+  obs::metrics()
+      .histogram("cryptopim.runtime.queue_depth", "requests")
+      .add(pending_.size());
+
+  // Chain the next open-loop arrival before any admission decision so
+  // backpressure never throttles the *offered* load.
+  Arrival this_arrival{e.cycle, r};
+  if (auto next = workload_->next_after_arrival(this_arrival)) {
+    Event ne;
+    ne.cycle = next->cycle;
+    ne.kind = EventKind::kArrival;
+    ne.request = next->request;
+    events_.push(std::move(ne));
+  }
+
+  const LaneGeometry g = geometry_for(cfg_.chip, r.degree);
+  if (g.banks > usable_banks()) {
+    report_.rejected_unservable += 1;
+    ts.rejected += 1;
+    return;
+  }
+  if (pending_.size() >= cfg_.queue_capacity) {
+    report_.rejected += 1;
+    ts.rejected += 1;
+    return;
+  }
+  r.service_cycles = g.service();
+  if (cfg_.deadline_slack > 0) {
+    r.deadline_cycle =
+        r.arrival_cycle +
+        static_cast<std::uint64_t>(cfg_.deadline_slack *
+                                   static_cast<double>(r.service_cycles));
+  }
+  report_.admitted += 1;
+  ts.admitted += 1;
+  pending_.push_back(std::move(r));
+  try_dispatch();
+}
+
+void ServingRuntime::try_dispatch() {
+  std::set<std::uint32_t> blocked;
+  while (!pending_.empty()) {
+    std::vector<bool> eligible(pending_.size());
+    bool any = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      eligible[i] = !blocked.contains(pending_[i].degree);
+      any = any || eligible[i];
+    }
+    if (!any) break;
+    PolicyContext ctx;
+    ctx.now = now_;
+    ctx.tenant_usage = tenant_usage_;
+    const std::size_t idx = policy_->pick(pending_, eligible, ctx);
+    if (idx == Policy::npos) break;
+    Lane* lane = acquire_lane(pending_[idx].degree);
+    if (!lane) {
+      blocked.insert(pending_[idx].degree);
+      continue;
+    }
+    dispatch(idx, *lane);
+  }
+}
+
+ServingRuntime::Lane* ServingRuntime::acquire_lane(std::uint32_t degree) {
+  Lane* free_now = nullptr;
+  std::uint64_t soonest = ~std::uint64_t{0};
+  for (Lane& lane : lanes_) {
+    if (lane.dead || lane.degree != degree) continue;
+    if (lane.free_at <= now_) {
+      if (!free_now || lane.free_at < free_now->free_at) free_now = &lane;
+    } else {
+      soonest = std::min(soonest, lane.free_at);
+    }
+  }
+  if (free_now) return free_now;
+
+  const LaneGeometry g = geometry_for(cfg_.chip, degree);
+  const unsigned usable = usable_banks();
+  unsigned free_banks = usable > allocated_banks_ ? usable - allocated_banks_
+                                                  : 0;
+  if (free_banks < g.banks) {
+    reclaim_idle_lanes(g.banks, degree);
+    free_banks = usable > allocated_banks_ ? usable - allocated_banks_ : 0;
+  }
+  if (free_banks >= g.banks) {
+    Lane* lane = carve_lane(degree);
+    if (lane->free_at <= now_) return lane;
+    schedule_scan(lane->free_at);
+    return nullptr;
+  }
+  if (soonest != ~std::uint64_t{0}) schedule_scan(soonest);
+  return nullptr;
+}
+
+ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
+  const LaneGeometry g = geometry_for(cfg_.chip, degree);
+  Lane lane;
+  lane.degree = degree;
+  lane.banks = g.banks;
+  lane.free_at = now_ + cfg_.repartition_cycles;
+  lane.track = kRuntimeTrackBase + 1 + static_cast<std::uint32_t>(lanes_.size());
+  allocated_banks_ += g.banks;
+  report_.repartitions += 1;
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    tr.set_track_name(lane.track, "runtime lane " +
+                                      std::to_string(lanes_.size()) + " (n=" +
+                                      std::to_string(degree) + ")");
+    tr.emit(kRuntimeTrackBase, "repartition n=" + std::to_string(degree),
+            "runtime", now_, cfg_.repartition_cycles);
+  }
+  lanes_.push_back(lane);
+  return &lanes_.back();
+}
+
+void ServingRuntime::reclaim_idle_lanes(unsigned needed,
+                                        std::uint32_t for_degree) {
+  std::set<std::uint32_t> pending_degrees;
+  for (const Request& r : pending_) pending_degrees.insert(r.degree);
+  for (Lane& lane : lanes_) {
+    const unsigned usable = usable_banks();
+    const unsigned free_banks =
+        usable > allocated_banks_ ? usable - allocated_banks_ : 0;
+    if (free_banks >= needed) return;
+    if (lane.dead || lane.in_flight > 0 || lane.free_at > now_) continue;
+    if (lane.degree == for_degree) continue;
+    if (pending_degrees.contains(lane.degree)) continue;
+    lane.dead = true;
+    allocated_banks_ -= lane.banks;
+  }
+}
+
+void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
+  Request r = pending_[queue_index];
+  pending_.erase(pending_.begin() + static_cast<long>(queue_index));
+
+  const LaneGeometry g = geometry_for(cfg_.chip, r.degree);
+  const std::uint64_t t0 = now_;
+  const std::uint64_t completion = t0 + g.service();
+  lane.free_at = t0 + g.occupancy();
+  lane.in_flight += 1;
+
+  const std::uint64_t bank_cycles =
+      static_cast<std::uint64_t>(lane.banks) * g.occupancy();
+  report_.busy_bank_cycles += bank_cycles;
+  TenantStats& ts = report_.tenants.at(r.tenant);
+  ts.bank_cycles += bank_cycles;
+  tenant_usage_[r.tenant] += static_cast<double>(bank_cycles) / ts.weight;
+
+  const std::uint64_t id = next_dispatch_id_++;
+  InFlight inf;
+  inf.request = std::move(r);
+  inf.lane = static_cast<std::size_t>(&lane - lanes_.data());
+  inf.dispatched_at = t0;
+  in_flight_.emplace(id, std::move(inf));
+
+  Event e;
+  e.cycle = completion;
+  e.kind = EventKind::kCompletion;
+  e.dispatch_id = id;
+  events_.push(std::move(e));
+}
+
+void ServingRuntime::handle_completion(const Event& e) {
+  const auto it = in_flight_.find(e.dispatch_id);
+  if (it == in_flight_.end()) return;  // cancelled by a bank failure
+  const InFlight inf = std::move(it->second);
+  in_flight_.erase(it);
+  lanes_[inf.lane].in_flight -= 1;
+
+  const Request& r = inf.request;
+  const std::uint64_t latency = now_ - r.arrival_cycle;
+  report_.completed += 1;
+  report_.latency_cycles.add(latency);
+  obs::metrics()
+      .histogram("cryptopim.runtime.latency_cycles", "cycles")
+      .add(latency);
+  TenantStats& ts = report_.tenants.at(r.tenant);
+  ts.completed += 1;
+  ts.latency_cycles.add(latency);
+  if (r.deadline_cycle > 0 && now_ > r.deadline_cycle) {
+    report_.deadline_misses += 1;
+    ts.deadline_misses += 1;
+  }
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    tr.emit(lanes_[inf.lane].track,
+            "req " + std::to_string(r.id) + " t" + std::to_string(r.tenant),
+            "runtime", inf.dispatched_at, now_ - inf.dispatched_at);
+  }
+  if (r.verify) verify_result(r);
+
+  if (auto next = workload_->next_after_completion(r, now_)) {
+    Event ne;
+    ne.cycle = next->cycle;
+    ne.kind = EventKind::kArrival;
+    ne.request = next->request;
+    events_.push(std::move(ne));
+  }
+  try_dispatch();
+}
+
+void ServingRuntime::handle_bank_failure(const Event&) {
+  report_.bank_failures += cfg_.fail_banks;
+  failed_banks_ += cfg_.fail_banks;
+
+  // Deterministic victim: the failure strikes the busiest live lane (most
+  // in-flight work, lowest index on ties) — its in-flight requests retry
+  // from the queue and the lane pays a repartition to remap onto a spare
+  // (or is torn down once the chip shrank below its footprint).
+  auto pick_victim = [this]() -> Lane* {
+    Lane* victim = nullptr;
+    for (Lane& lane : lanes_) {
+      if (lane.dead) continue;
+      if (!victim || lane.in_flight > victim->in_flight) victim = &lane;
+    }
+    return victim;
+  };
+
+  Lane* victim = pick_victim();
+  if (victim) {
+    const std::size_t victim_idx =
+        static_cast<std::size_t>(victim - lanes_.data());
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      if (it->second.lane == victim_idx) {
+        pending_.push_back(std::move(it->second.request));
+        report_.retried += 1;
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    victim->in_flight = 0;
+    report_.repartitions += 1;
+    auto& tr = obs::tracer();
+    if (tr.enabled()) {
+      tr.emit(kRuntimeTrackBase, "bank failure", "runtime", now_,
+              cfg_.repartition_cycles);
+    }
+    if (allocated_banks_ > usable_banks()) {
+      // Beyond the spare pool: the lane's banks are gone for good.
+      victim->dead = true;
+      allocated_banks_ -= victim->banks;
+    } else {
+      // A spare absorbed the failure; the lane re-forms after the remap.
+      victim->free_at = std::max(victim->free_at, now_) +
+                        cfg_.repartition_cycles;
+      schedule_scan(victim->free_at);
+    }
+  }
+  // Keep tearing lanes down if several banks failed at once and the pool
+  // shrank below what is still allocated.
+  while (allocated_banks_ > usable_banks()) {
+    Lane* next = pick_victim();
+    if (!next) break;
+    const std::size_t idx = static_cast<std::size_t>(next - lanes_.data());
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      if (it->second.lane == idx) {
+        pending_.push_back(std::move(it->second.request));
+        report_.retried += 1;
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    next->in_flight = 0;
+    next->dead = true;
+    allocated_banks_ -= next->banks;
+    report_.repartitions += 1;
+  }
+  try_dispatch();
+}
+
+void ServingRuntime::verify_result(const Request& r) {
+  // Materialise the operands from the request's seed, produce the result
+  // through the software mirror of the datapath, and Freivalds-check it.
+  // The engines are cached per degree class; a degree without a paper
+  // parameter set (above 32k: segmented execution) is skipped.
+  struct VerifyEngine {
+    ntt::NttParams params;
+    ntt::GsNttEngine engine;
+    explicit VerifyEngine(std::uint32_t n)
+        : params(ntt::NttParams::for_degree(n)), engine(params) {}
+  };
+  thread_local std::map<std::uint32_t, std::unique_ptr<VerifyEngine>> cache;
+  auto it = cache.find(r.degree);
+  if (it == cache.end()) {
+    try {
+      it = cache.emplace(r.degree, std::make_unique<VerifyEngine>(r.degree))
+               .first;
+    } catch (const std::exception&) {
+      cache.emplace(r.degree, nullptr);
+      return;
+    }
+  }
+  if (!it->second) return;
+  const VerifyEngine& ve = *it->second;
+
+  Xoshiro256 rng(r.data_seed);
+  const auto a = ntt::sample_uniform(ve.params.n, ve.params.q, rng);
+  const auto b = ntt::sample_uniform(ve.params.n, ve.params.q, rng);
+  const auto c = ve.engine.negacyclic_multiply(a, b);
+  reliability::VerifyConfig vc;
+  vc.points = cfg_.verify_points;
+  vc.seed = r.data_seed ^ 0x5eed5eedULL;
+  reliability::ResultVerifier verifier(ve.params, vc);
+  if (verifier.check(a, b, c)) {
+    report_.verified += 1;
+  } else {
+    report_.verify_failures += 1;
+  }
+}
+
+void ServingRuntime::publish_metrics() const {
+  auto& reg = obs::metrics();
+  reg.counter("cryptopim.runtime.submitted", "requests")
+      .add(report_.submitted);
+  reg.counter("cryptopim.runtime.admitted", "requests").add(report_.admitted);
+  reg.counter("cryptopim.runtime.rejected", "requests").add(report_.rejected);
+  reg.counter("cryptopim.runtime.rejected_unservable", "requests")
+      .add(report_.rejected_unservable);
+  reg.counter("cryptopim.runtime.completed", "requests")
+      .add(report_.completed);
+  reg.counter("cryptopim.runtime.repartitions", "events")
+      .add(report_.repartitions);
+  reg.counter("cryptopim.runtime.bank_failures", "banks")
+      .add(report_.bank_failures);
+  reg.counter("cryptopim.runtime.retried", "requests").add(report_.retried);
+  reg.counter("cryptopim.runtime.deadline_misses", "requests")
+      .add(report_.deadline_misses);
+  reg.counter("cryptopim.runtime.verified", "requests").add(report_.verified);
+  reg.counter("cryptopim.runtime.verify_failures", "requests")
+      .add(report_.verify_failures);
+  reg.counter("cryptopim.runtime.busy_bank_cycles", "bank-cycles")
+      .add(report_.busy_bank_cycles);
+}
+
+}  // namespace cryptopim::runtime

@@ -1,0 +1,214 @@
+// Online serving runtime: a discrete-event, multi-tenant scheduler that
+// streams polynomial-multiplication requests over the 128-bank chip.
+//
+// Where `model::ChipScheduler` answers "what is the makespan of this
+// fixed job list?", the serving runtime answers the production question:
+// requests *arrive over time* (open-loop Poisson or closed-loop clients),
+// are admitted through a bounded queue with backpressure, and are
+// dispatched by a pluggable policy (fifo / sjf / edf / wfq) onto
+// *superbank lanes* — superbanks carved on demand from the chip's bank
+// pool per degree class (arch::ChipConfig::plan_for_degree geometry,
+// including degraded chips once banks have failed).
+//
+// Time is a discrete-event clock in crossbar cycles, consistent with
+// model::Performance: a lane configured for degree n accepts one request
+// per `slowest_stage_cycles` beat (times `segments` for degrees above
+// the design point) and delivers it a pipeline fill later
+// (`depth * beat + (segments-1) * beat`). Carving or re-carving a lane
+// is a *repartition* and costs `repartition_cycles` before the new lane
+// accepts work. A mid-stream bank failure (injected at a configured
+// cycle) consumes a spare bank when one is left — the victim lane pays a
+// repartition and its in-flight requests retry — and shrinks the pool
+// once spares are dry, exactly mirroring plan_for_degree(n, failed).
+//
+// Observability: every run fills per-tenant pow2 latency histograms
+// (p50/p99/p999 via obs::Histogram::quantile), queue-depth and
+// utilization counters, publishes cryptopim.runtime.* metrics, and —
+// when the global tracer is enabled — emits one span per request on a
+// per-lane `runtime` track so Perfetto shows requests flowing across
+// superbank lanes.
+//
+// Verification: requests flagged `verify` carry a data seed; on
+// completion the runtime materialises the operands, runs the product
+// through the software mirror of the datapath and checks it with the
+// reliability layer's Freivalds verifier, so a stream "completes with
+// verified results" in the literal sense.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/chip.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "runtime/event_queue.h"
+#include "runtime/policy.h"
+#include "runtime/request.h"
+#include "runtime/workload.h"
+
+namespace cryptopim::runtime {
+
+/// Trace track ids used by the runtime: base + lane index (base itself
+/// is the control track carrying repartition/failure spans). Disjoint
+/// from the simulator tracks (0..banks, 1<<15, 1<<16, 1<<17 ranges).
+inline constexpr std::uint32_t kRuntimeTrackBase = 1u << 18;
+
+struct ServingConfig {
+  arch::ChipConfig chip = arch::ChipConfig::paper_chip();
+  std::string policy = "fifo";
+
+  // -- workload ---------------------------------------------------------------
+  WorkloadSpec workload;
+  /// Open loop: offered arrival rate in requests per second.
+  double arrival_rate_per_s = 1000.0;
+  /// Closed loop when clients > 0 (arrival_rate_per_s is then ignored).
+  std::uint32_t closed_loop_clients = 0;
+  double think_time_us = 100.0;
+  /// Arrival horizon in simulated microseconds; the runtime then drains.
+  double duration_us = 5000.0;
+  /// deadline = arrival + slack * service estimate; 0 = no deadlines.
+  double deadline_slack = 0.0;
+
+  // -- admission and partitioning --------------------------------------------
+  std::size_t queue_capacity = 1024;
+  /// Cycles a newly carved (or failure-remapped) lane takes to become
+  /// ready: superbank reconfiguration cost.
+  std::uint64_t repartition_cycles = 4096;
+  /// Per-tenant fairness weights (wfq); missing tenants default to 1.
+  std::vector<double> tenant_weights;
+
+  // -- reliability ------------------------------------------------------------
+  /// Inject one bank failure at this simulated microsecond (0 = none).
+  double fail_bank_at_us = 0.0;
+  unsigned fail_banks = 1;
+  /// Freivalds points for data-carrying requests.
+  unsigned verify_points = 2;
+
+  /// Crossbar cycle time (defaults to the paper's 1.1 ns device).
+  double cycle_ns = 1.1;
+
+  double cycles_per_us() const noexcept { return 1e3 / cycle_ns; }
+};
+
+/// Per-tenant serving ledger.
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  /// Bank-cycles consumed: lane banks x occupancy beats per request.
+  std::uint64_t bank_cycles = 0;
+  double weight = 1.0;
+  obs::Histogram latency_cycles;  ///< arrival -> completion
+};
+
+struct ServingReport {
+  std::string policy;
+  std::uint64_t duration_cycles = 0;  ///< arrival horizon
+  std::uint64_t drain_cycle = 0;      ///< last event processed
+
+  // Work conservation: submitted == admitted + rejected and
+  // admitted == completed + in_flight (+ queued) at any observation
+  // point; after the final drain in_flight == queued == 0.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;          ///< queue-full backpressure
+  std::uint64_t rejected_unservable = 0;  ///< no feasible plan (degraded)
+  std::uint64_t completed = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t queued = 0;
+
+  std::uint64_t repartitions = 0;
+  std::uint64_t bank_failures = 0;
+  std::uint64_t retried = 0;  ///< requests re-queued by a bank failure
+  std::uint64_t deadline_misses = 0;
+
+  std::uint64_t verified = 0;
+  std::uint64_t verify_failures = 0;
+
+  std::uint64_t busy_bank_cycles = 0;
+  double utilization = 0;       ///< busy bank-cycles / (banks x drain time)
+  double throughput_per_s = 0;  ///< completed / drain time
+  double offered_per_s = 0;     ///< submitted / arrival horizon
+
+  obs::Histogram latency_cycles;   ///< all tenants
+  obs::Histogram queue_depth;      ///< sampled at every arrival
+  std::map<std::uint32_t, TenantStats> tenants;
+
+  double cycles_per_us = 1.0;
+  double latency_us(double quantile) const;
+
+  /// Deterministic JSON document (schema "serving/1"): totals, derived
+  /// rates, per-tenant stats with p50/p99/p999 latency.
+  obs::Json to_json() const;
+};
+
+class ServingRuntime {
+ public:
+  explicit ServingRuntime(ServingConfig cfg);
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  const ServingConfig& config() const noexcept { return cfg_; }
+
+  /// Run the full simulation: prime arrivals, loop the event queue to
+  /// empty (arrival horizon + drain), return the sealed report.
+  /// Deterministic for a fixed config. Throws std::invalid_argument for
+  /// an unknown policy name or an empty degree mix.
+  ServingReport run();
+
+ private:
+  struct Lane;
+  struct InFlight;
+
+  void handle_arrival(const Event& e);
+  void handle_completion(const Event& e);
+  void handle_bank_failure(const Event& e);
+  void try_dispatch();
+
+  /// A lane of `degree`'s class that can accept work *now*, carving a
+  /// new one from free banks if needed; nullptr when the class must
+  /// wait (a wake-up scan is scheduled whenever one is known).
+  Lane* acquire_lane(std::uint32_t degree);
+  Lane* carve_lane(std::uint32_t degree);
+  /// Returns banks of idle lanes (no in-flight work, nothing pending in
+  /// their class) to the free pool until `needed` banks are available.
+  void reclaim_idle_lanes(unsigned needed, std::uint32_t for_degree);
+  void dispatch(std::size_t queue_index, Lane& lane);
+  void verify_result(const Request& r);
+  unsigned usable_banks() const noexcept;
+  void schedule_scan(std::uint64_t cycle);
+  void publish_metrics() const;
+
+  ServingConfig cfg_;
+  std::unique_ptr<Policy> policy_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+
+  EventQueue events_;
+  std::uint64_t now_ = 0;
+  std::vector<Request> pending_;  ///< admitted, waiting for a lane
+  std::vector<Lane> lanes_;
+  std::map<std::uint64_t, InFlight> in_flight_;
+  std::uint64_t next_dispatch_id_ = 1;
+
+  unsigned allocated_banks_ = 0;
+  unsigned failed_banks_ = 0;
+  /// Cycles with a wake-up scan already queued: every blocked dispatch
+  /// wants a scan at the next lane-free boundary, and without dedup
+  /// those scans accumulate one self-re-arming chain per arrival
+  /// (quadratic event count under saturation).
+  std::set<std::uint64_t> scan_cycles_;
+
+  std::vector<double> tenant_usage_;  ///< bank-cycles / weight, for wfq
+
+  ServingReport report_;
+};
+
+}  // namespace cryptopim::runtime

@@ -1,0 +1,121 @@
+#include "runtime/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cryptopim::runtime {
+
+double uniform_unit(Xoshiro256& rng) noexcept {
+  // 53 high bits -> [0, 1); flip to (0, 1] so -log(u) is finite.
+  const double u =
+      static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  return 1.0 - u;
+}
+
+std::uint64_t exponential_cycles(Xoshiro256& rng, double mean_cycles) noexcept {
+  const double sample = -std::log(uniform_unit(rng)) * mean_cycles;
+  if (sample < 1.0) return 1;
+  return static_cast<std::uint64_t>(std::llround(sample));
+}
+
+Request sample_request(const WorkloadSpec& spec, Xoshiro256& rng,
+                       std::uint64_t id) {
+  assert(!spec.mix.empty());
+  Request r;
+  r.id = id;
+  double total = 0;
+  for (const auto& share : spec.mix) total += share.weight;
+  double point = uniform_unit(rng) * total;
+  r.degree = spec.mix.back().degree;
+  for (const auto& share : spec.mix) {
+    point -= share.weight;
+    if (point <= 0) {
+      r.degree = share.degree;
+      break;
+    }
+  }
+  r.tenant = spec.tenants > 1
+                 ? static_cast<std::uint32_t>(rng.next_below(spec.tenants))
+                 : 0;
+  if (spec.verify_every > 0 && id % spec.verify_every == 0) {
+    r.verify = true;
+    // Per-request operand seed; the splitmix in Xoshiro256's constructor
+    // decorrelates consecutive ids.
+    r.data_seed = spec.seed ^ (id * 0x9e3779b97f4a7c15ull + 1);
+  }
+  return r;
+}
+
+// -- open loop ----------------------------------------------------------------
+
+OpenLoopPoisson::OpenLoopPoisson(WorkloadSpec spec, double rate_per_cycle,
+                                 std::uint64_t horizon_cycles)
+    : spec_(std::move(spec)),
+      rate_per_cycle_(rate_per_cycle),
+      horizon_(horizon_cycles),
+      rng_(spec_.seed) {
+  assert(rate_per_cycle_ > 0);
+}
+
+std::vector<Arrival> OpenLoopPoisson::initial() {
+  Arrival a;
+  a.cycle = exponential_cycles(rng_, 1.0 / rate_per_cycle_);
+  if (a.cycle > horizon_) return {};
+  a.request = sample_request(spec_, rng_, next_id_++);
+  a.request.arrival_cycle = a.cycle;
+  return {a};
+}
+
+std::optional<Arrival> OpenLoopPoisson::next_after_arrival(const Arrival& a) {
+  Arrival next;
+  next.cycle = a.cycle + exponential_cycles(rng_, 1.0 / rate_per_cycle_);
+  if (next.cycle > horizon_) return std::nullopt;
+  next.request = sample_request(spec_, rng_, next_id_++);
+  next.request.arrival_cycle = next.cycle;
+  return next;
+}
+
+// -- closed loop --------------------------------------------------------------
+
+ClosedLoop::ClosedLoop(WorkloadSpec spec, std::uint32_t clients,
+                       std::uint64_t think_cycles,
+                       std::uint64_t horizon_cycles)
+    : spec_(std::move(spec)),
+      clients_(clients),
+      think_cycles_(think_cycles),
+      horizon_(horizon_cycles),
+      rng_(spec_.seed) {
+  assert(clients_ > 0);
+}
+
+std::vector<Arrival> ClosedLoop::initial() {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(clients_);
+  for (std::uint32_t c = 0; c < clients_; ++c) {
+    Arrival a;
+    // Stagger the first think so clients do not phase-lock.
+    a.cycle = exponential_cycles(
+        rng_, static_cast<double>(think_cycles_ ? think_cycles_ : 1));
+    if (a.cycle > horizon_) continue;
+    a.request = sample_request(spec_, rng_, next_id_++);
+    a.request.arrival_cycle = a.cycle;
+    a.request.client = c;
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+std::optional<Arrival> ClosedLoop::next_after_completion(const Request& r,
+                                                         std::uint64_t now) {
+  Arrival a;
+  a.cycle = now + exponential_cycles(
+                      rng_, static_cast<double>(think_cycles_ ? think_cycles_
+                                                              : 1));
+  if (a.cycle > horizon_) return std::nullopt;
+  a.request = sample_request(spec_, rng_, next_id_++);
+  a.request.arrival_cycle = a.cycle;
+  a.request.client = r.client;
+  return a;
+}
+
+}  // namespace cryptopim::runtime

@@ -1,0 +1,117 @@
+// Synthetic workload generators for the serving runtime.
+//
+// Two canonical shapes from queueing practice:
+//
+//   * open loop — arrivals are a Poisson process at a fixed rate,
+//     independent of service: the generator the saturation studies use
+//     (offered load keeps coming whether or not the chip keeps up);
+//   * closed loop — N clients each hold one request in flight and think
+//     (exponentially distributed) between completion and re-issue, so
+//     offered load self-limits at N in flight.
+//
+// All randomness flows from one Xoshiro256 seeded at construction
+// (common/rng.h), so a given (seed, config) pair generates the same
+// request stream on every run and platform — the determinism the
+// acceptance bar demands.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/request.h"
+
+namespace cryptopim::runtime {
+
+/// One degree class and its sampling weight in the mix.
+struct DegreeShare {
+  std::uint32_t degree = 256;
+  double weight = 1.0;
+};
+
+/// Request-field sampling shared by the generators.
+struct WorkloadSpec {
+  std::vector<DegreeShare> mix = {{256, 1.0}};
+  std::uint32_t tenants = 1;
+  /// Every verify_every-th request carries data and is Freivalds-checked
+  /// on completion; 0 disables data-carrying requests.
+  std::uint32_t verify_every = 0;
+  std::uint64_t seed = 1;
+};
+
+struct Arrival {
+  std::uint64_t cycle = 0;
+  Request request;
+};
+
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// Arrivals to prime the event queue with (one for open loop, one per
+  /// client for closed loop).
+  virtual std::vector<Arrival> initial() = 0;
+  /// Open loop: the arrival following `a`; nullopt past the run horizon.
+  virtual std::optional<Arrival> next_after_arrival(const Arrival& a) = 0;
+  /// Closed loop: the re-issue after `r` completed at `now`.
+  virtual std::optional<Arrival> next_after_completion(const Request& r,
+                                                       std::uint64_t now) = 0;
+};
+
+/// Open-loop Poisson arrivals at `rate_per_cycle` until `horizon_cycles`.
+class OpenLoopPoisson final : public WorkloadGenerator {
+ public:
+  OpenLoopPoisson(WorkloadSpec spec, double rate_per_cycle,
+                  std::uint64_t horizon_cycles);
+
+  std::vector<Arrival> initial() override;
+  std::optional<Arrival> next_after_arrival(const Arrival& a) override;
+  std::optional<Arrival> next_after_completion(const Request&,
+                                               std::uint64_t) override {
+    return std::nullopt;
+  }
+
+ private:
+  WorkloadSpec spec_;
+  double rate_per_cycle_;
+  std::uint64_t horizon_;
+  Xoshiro256 rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// `clients` closed-loop clients with exponential think time (mean
+/// `think_cycles`); no re-issues after `horizon_cycles`.
+class ClosedLoop final : public WorkloadGenerator {
+ public:
+  ClosedLoop(WorkloadSpec spec, std::uint32_t clients,
+             std::uint64_t think_cycles, std::uint64_t horizon_cycles);
+
+  std::vector<Arrival> initial() override;
+  std::optional<Arrival> next_after_arrival(const Arrival&) override {
+    return std::nullopt;
+  }
+  std::optional<Arrival> next_after_completion(const Request& r,
+                                               std::uint64_t now) override;
+
+ private:
+  WorkloadSpec spec_;
+  std::uint32_t clients_;
+  std::uint64_t think_cycles_;
+  std::uint64_t horizon_;
+  Xoshiro256 rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// A uniform double in (0, 1] from the generator (used for exponential
+/// sampling; never returns 0, so log() is safe). Exposed for tests.
+double uniform_unit(Xoshiro256& rng) noexcept;
+
+/// One exponential sample with the given mean, rounded to >= 1 cycle.
+std::uint64_t exponential_cycles(Xoshiro256& rng, double mean_cycles) noexcept;
+
+/// Sample a request's degree/tenant/verify fields per `spec`.
+Request sample_request(const WorkloadSpec& spec, Xoshiro256& rng,
+                       std::uint64_t id);
+
+}  // namespace cryptopim::runtime

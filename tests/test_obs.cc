@@ -160,6 +160,34 @@ TEST(Metrics, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(hist.mean(), 3.5);
 }
 
+TEST(Metrics, HistogramQuantileWalksBuckets) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  EXPECT_EQ(hist.quantile(0.5), 0u);  // empty
+  // 90 fast samples and 10 slow outliers: the p50 sits in the fast
+  // bucket, the p99 in the slow one. Bucket resolution is a factor of
+  // two, so compare against bucket edges, not exact sample values.
+  for (int i = 0; i < 90; ++i) hist.add(10);   // bucket [8, 16)
+  for (int i = 0; i < 10; ++i) hist.add(900);  // bucket [512, 1024)
+  EXPECT_EQ(hist.quantile(0.50), 15u);   // upper edge of [8, 16)
+  EXPECT_EQ(hist.quantile(0.90), 15u);
+  EXPECT_EQ(hist.quantile(0.99), 900u);  // clamped to max
+  EXPECT_EQ(hist.quantile(0.0), 10u);    // min
+  EXPECT_EQ(hist.quantile(1.0), 900u);   // max
+}
+
+TEST(Metrics, HistogramQuantileClampsToObservedRange) {
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  hist.add(100);
+  // One sample: every quantile is that sample (min == max clamps the
+  // bucket edge from both sides).
+  EXPECT_EQ(hist.quantile(0.5), 100u);
+  EXPECT_EQ(hist.quantile(0.999), 100u);
+  hist.add(0);
+  EXPECT_EQ(hist.quantile(0.25), 0u);  // rank 1 of 2 lands on the zero
+}
+
 // -------------------------------------------------------- BenchReporter --
 
 TEST(BenchReporter, WritesParseableSchema) {

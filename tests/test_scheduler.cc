@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace cryptopim::model {
 namespace {
 
@@ -94,6 +96,51 @@ TEST(Scheduler, RepartitionOverheadCharged) {
   const auto a = with_cost.schedule(jobs);
   const auto b = free_cost.schedule(jobs);
   EXPECT_NEAR(a.makespan_us - b.makespan_us, 10.0, 1e-9);  // 2 repartitions
+}
+
+TEST(Scheduler, SparesHideFailuresFromTheSchedule) {
+  // Failures within the spare pool leave the working set intact: the
+  // schedule is identical to the healthy chip's.
+  const ChipScheduler healthy;
+  const ChipScheduler repaired(arch::ChipConfig::paper_chip(),
+                               /*repartition_us=*/0.0, /*failed_banks=*/8);
+  const std::vector<Job> jobs = {{256, 1000}, {4096, 20}};
+  const auto a = healthy.schedule(jobs);
+  const auto b = repaired.schedule(jobs);
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].superbanks, b.batches[i].superbanks);
+  }
+}
+
+TEST(Scheduler, DegradedChipLosesSuperbanksAndThroughput) {
+  // 10 failures = 8 spares + 2 lost banks: at n=256 (2 banks/superbank)
+  // one superbank disappears and a long stream takes longer.
+  const ChipScheduler healthy;
+  const ChipScheduler degraded(arch::ChipConfig::paper_chip(),
+                               /*repartition_us=*/0.0, /*failed_banks=*/10);
+  EXPECT_EQ(degraded.failed_banks(), 10u);
+  const std::vector<Job> jobs = {{256, 100000}};
+  const auto a = healthy.schedule(jobs);
+  const auto b = degraded.schedule(jobs);
+  ASSERT_EQ(b.batches.size(), 1u);
+  EXPECT_EQ(a.batches[0].superbanks, 64u);
+  EXPECT_EQ(b.batches[0].superbanks, 63u);
+  EXPECT_GT(b.makespan_us, a.makespan_us);
+  EXPECT_LT(b.throughput_per_s, a.throughput_per_s);
+}
+
+TEST(Scheduler, DegradedChipBeyondCapacityThrows) {
+  // n=32768 needs all 128 banks for one superbank; losing any bank past
+  // the spares makes the degree unschedulable.
+  const ChipScheduler degraded(arch::ChipConfig::paper_chip(),
+                               /*repartition_us=*/0.0, /*failed_banks=*/9);
+  const std::vector<Job> jobs = {{32768, 1}};
+  EXPECT_THROW((void)degraded.schedule(jobs), std::runtime_error);
+  // Smaller degrees still schedule on the same degraded chip.
+  const std::vector<Job> small = {{256, 10}};
+  EXPECT_NO_THROW((void)degraded.schedule(small));
 }
 
 TEST(Scheduler, MoreJobsNeverShortenTheMakespan) {

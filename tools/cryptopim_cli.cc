@@ -13,11 +13,16 @@
 //                                              the 128-bank chip
 //   cryptopim kem [--seed S]                   run a full KEM handshake on
 //                                              the accelerator
+//   cryptopim serve [--arrival-rate R] ...     online serving: discrete-event
+//                                              multi-tenant scheduling of a
+//                                              request stream over superbank
+//                                              lanes (see `serve --help`)
 //
 // Global flags:
 //   --json           machine-readable output (one JSON document on stdout)
 //   --trace=FILE     record the run as Chrome-trace JSON (open the file in
 //                    https://ui.perfetto.dev; 1 trace us = 1 cycle)
+//   --version        print the git describe string and exit
 #include <charconv>
 #include <cstdlib>
 #include <fstream>
@@ -43,6 +48,10 @@ struct Options {
   std::vector<std::string> args;         ///< command arguments, flags included
 };
 
+#ifndef CRYPTOPIM_GIT_VERSION
+#define CRYPTOPIM_GIT_VERSION "unknown"
+#endif
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -51,8 +60,50 @@ int usage() {
          "  cryptopim report [--degree N]\n"
          "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
          "  cryptopim kem [--seed S]\n"
-         "global flags: --json, --trace=FILE\n";
+         "  cryptopim serve [--arrival-rate R] [--policy P] [--duration US]\n"
+         "                  [...]           (see `cryptopim serve --help`)\n"
+         "global flags: --json, --trace=FILE, --version\n";
   return 2;
+}
+
+int serve_help() {
+  std::cout
+      << "usage: cryptopim serve [flags]\n"
+         "\n"
+         "Simulate online serving of a polynomial-multiplication request\n"
+         "stream on the 128-bank chip: a discrete-event clock (in crossbar\n"
+         "cycles) admits requests through a bounded queue, carves superbank\n"
+         "lanes per degree class, and dispatches by the chosen policy.\n"
+         "\n"
+         "workload:\n"
+         "  --arrival-rate R     open-loop Poisson arrivals, requests/s\n"
+         "                       (default 20000)\n"
+         "  --closed-loop N      N closed-loop clients instead (think time\n"
+         "                       between requests; overrides --arrival-rate)\n"
+         "  --think US           closed-loop mean think time, us (default 100)\n"
+         "  --duration US        arrival horizon in simulated us (default\n"
+         "                       2000); the runtime then drains\n"
+         "  --degrees SPEC       degree mix as deg:weight[,deg:weight...]\n"
+         "                       (default 256:4,1024:2,4096:1)\n"
+         "  --tenants T          number of tenants (default 4)\n"
+         "  --seed S             workload RNG seed (default 1)\n"
+         "\n"
+         "scheduling:\n"
+         "  --policy P           fifo | sjf | edf | wfq (default fifo)\n"
+         "  --queue-capacity C   admission queue bound; arrivals beyond it\n"
+         "                       are rejected (default 1024)\n"
+         "  --deadline-slack F   deadline = arrival + F x service estimate;\n"
+         "                       0 = no deadlines (default 4 for edf, else 0)\n"
+         "\n"
+         "reliability:\n"
+         "  --fail-bank-at US    inject a bank failure at this simulated us\n"
+         "                       (0 = none); triggers a repartition\n"
+         "  --verify-every K     every Kth request carries data and its\n"
+         "                       result is Freivalds-verified (default 64;\n"
+         "                       0 = off)\n"
+         "\n"
+         "global flags: --json (serving report as JSON), --trace=FILE\n";
+  return 0;
 }
 
 int bad_argument(const std::string& arg) {
@@ -119,19 +170,38 @@ std::uint64_t take_u64(std::vector<std::string>& args, const std::string& name,
   return parsed;
 }
 
+/// Strict full-token double parse (same contract as parse_u64).
+double parse_double(const std::string& name, const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (text.empty() || end != begin + text.size()) {
+    throw UsageError(name + " expects a number, got '" + text + "'");
+  }
+  return parsed;
+}
+
 /// `--name` as a probability in [0, 1]; `fallback` when absent.
 double take_rate(std::vector<std::string>& args, const std::string& name,
                  double fallback) {
   const auto v = take_value(args, name);
   if (!v) return fallback;
-  const char* begin = v->c_str();
-  char* end = nullptr;
-  const double parsed = std::strtod(begin, &end);
-  if (v->empty() || end != begin + v->size()) {
-    throw UsageError(name + " expects a number, got '" + *v + "'");
-  }
+  const double parsed = parse_double(name, *v);
   if (!(parsed >= 0.0 && parsed <= 1.0)) {
     throw UsageError(name + " must be in [0, 1], got '" + *v + "'");
+  }
+  return parsed;
+}
+
+/// `--name` as a double in [min, max]; `fallback` when absent.
+double take_double(std::vector<std::string>& args, const std::string& name,
+                   double fallback, double min, double max) {
+  const auto v = take_value(args, name);
+  if (!v) return fallback;
+  const double parsed = parse_double(name, *v);
+  if (!(parsed >= min && parsed <= max)) {
+    throw UsageError(name + " must be in [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "], got '" + *v + "'");
   }
   return parsed;
 }
@@ -330,9 +400,12 @@ int cmd_schedule(const Options& opt) {
         parse_u64("schedule spec degree", spec.substr(0, colon));
     const std::uint64_t count =
         parse_u64("schedule spec count", spec.substr(colon + 1));
-    if (deg == 0 || deg > (1u << 16)) {
-      throw UsageError("schedule spec degree must be in [1, 65536], got '" +
-                       spec + "'");
+    // plan_for_degree rejects non-power-of-two degrees; surface that as a
+    // usage error (exit 2) rather than a runtime failure.
+    if (deg < 4 || deg > (1u << 16) || (deg & (deg - 1)) != 0) {
+      throw UsageError(
+          "schedule spec degree must be a power of two in [4, 65536], got '" +
+          spec + "'");
     }
     jobs.push_back(cp::model::Job{static_cast<std::uint32_t>(deg), count});
   }
@@ -373,6 +446,120 @@ int cmd_schedule(const Options& opt) {
             << cp::fmt_i(static_cast<std::uint64_t>(res.throughput_per_s))
             << " mults/s\n";
   return 0;
+}
+
+/// Parse "deg:weight[,deg:weight...]" into a degree mix.
+std::vector<cp::runtime::DegreeShare> parse_mix(const std::string& spec) {
+  std::vector<cp::runtime::DegreeShare> mix;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw UsageError("--degrees expects deg:weight[,deg:weight...], got '" +
+                       spec + "'");
+    }
+    cp::runtime::DegreeShare share;
+    const std::uint64_t deg =
+        parse_u64("--degrees degree", item.substr(0, colon));
+    if (deg < 4 || deg > (1u << 16) || (deg & (deg - 1)) != 0) {
+      throw UsageError("--degrees degree must be a power of two in "
+                       "[4, 65536], got '" + item + "'");
+    }
+    share.degree = static_cast<std::uint32_t>(deg);
+    share.weight = parse_double("--degrees weight", item.substr(colon + 1));
+    if (!(share.weight > 0)) {
+      throw UsageError("--degrees weight must be positive, got '" + item +
+                       "'");
+    }
+    mix.push_back(share);
+    pos = comma + 1;
+  }
+  if (mix.empty()) throw UsageError("--degrees must not be empty");
+  return mix;
+}
+
+int cmd_serve(const Options& opt) {
+  auto args = opt.args;
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") return serve_help();
+  }
+  cp::runtime::ServingConfig cfg;
+  cfg.policy = take_value(args, "--policy").value_or("fifo");
+  cfg.arrival_rate_per_s =
+      take_double(args, "--arrival-rate", 20000.0, 1e-3, 1e12);
+  cfg.closed_loop_clients = static_cast<std::uint32_t>(
+      take_u64(args, "--closed-loop", 0, 0, 1u << 20));
+  cfg.think_time_us = take_double(args, "--think", 100.0, 0.0, 1e12);
+  cfg.duration_us = take_double(args, "--duration", 2000.0, 0.001, 1e9);
+  cfg.queue_capacity = take_u64(args, "--queue-capacity", 1024, 1, 1u << 24);
+  cfg.deadline_slack = take_double(args, "--deadline-slack",
+                                   cfg.policy == "edf" ? 4.0 : 0.0, 0.0, 1e6);
+  cfg.fail_bank_at_us = take_double(args, "--fail-bank-at", 0.0, 0.0, 1e9);
+  cfg.workload.tenants =
+      static_cast<std::uint32_t>(take_u64(args, "--tenants", 4, 1, 1u << 16));
+  cfg.workload.seed = take_u64(args, "--seed", 1);
+  cfg.workload.verify_every = static_cast<std::uint32_t>(
+      take_u64(args, "--verify-every", 64, 0, 1u << 30));
+  cfg.workload.mix =
+      parse_mix(take_value(args, "--degrees").value_or("256:4,1024:2,4096:1"));
+  if (const int rc = reject_leftovers(args)) return rc;
+  if (!cp::runtime::make_policy(cfg.policy)) {
+    throw UsageError("unknown policy '" + cfg.policy + "' (expected one of: "
+                     "fifo, sjf, edf, wfq)");
+  }
+
+  cp::runtime::ServingRuntime rt(cfg);
+  const auto rep = rt.run();
+  if (opt.json) {
+    cp::obs::Json j = cp::obs::Json::object();
+    j.set("command", "serve");
+    j.set("seed", cfg.workload.seed);
+    j.set("arrival_rate_per_s", cfg.arrival_rate_per_s);
+    j.set("closed_loop_clients", std::uint64_t{cfg.closed_loop_clients});
+    j.set("duration_us", cfg.duration_us);
+    j.set("report", rep.to_json());
+    j.write(std::cout);
+    std::cout << "\n";
+  } else {
+    std::cout << "policy:      " << rep.policy << "\n"
+              << "horizon:     " << cp::fmt_f(cfg.duration_us) << " us ("
+              << cp::fmt_i(rep.duration_cycles) << " cycles)\n"
+              << "submitted:   " << cp::fmt_i(rep.submitted) << " ("
+              << cp::fmt_i(static_cast<std::uint64_t>(rep.offered_per_s))
+              << " req/s offered)\n"
+              << "admitted:    " << cp::fmt_i(rep.admitted) << "\n"
+              << "rejected:    " << cp::fmt_i(rep.rejected)
+              << " backpressure + " << cp::fmt_i(rep.rejected_unservable)
+              << " unservable\n"
+              << "completed:   " << cp::fmt_i(rep.completed) << " ("
+              << cp::fmt_i(static_cast<std::uint64_t>(rep.throughput_per_s))
+              << " req/s)\n"
+              << "latency:     p50 " << cp::fmt_f(rep.latency_us(0.5))
+              << " us, p99 " << cp::fmt_f(rep.latency_us(0.99))
+              << " us, p999 " << cp::fmt_f(rep.latency_us(0.999)) << " us\n"
+              << "utilization: " << cp::fmt_pct(rep.utilization, 1) << "\n"
+              << "repartitions " << cp::fmt_i(rep.repartitions)
+              << ", bank failures " << cp::fmt_i(rep.bank_failures)
+              << ", retried " << cp::fmt_i(rep.retried) << "\n"
+              << "deadlines:   " << cp::fmt_i(rep.deadline_misses)
+              << " missed\n"
+              << "verified:    " << cp::fmt_i(rep.verified) << " ok, "
+              << cp::fmt_i(rep.verify_failures) << " failed\n";
+    cp::Table t({"tenant", "weight", "admitted", "completed", "bank-cycles",
+                 "p50 (cyc)", "p99 (cyc)"});
+    for (const auto& [id, ts] : rep.tenants) {
+      t.add_row({std::to_string(id), cp::fmt_f(ts.weight, 1),
+                 cp::fmt_i(ts.admitted), cp::fmt_i(ts.completed),
+                 cp::fmt_i(ts.bank_cycles),
+                 cp::fmt_i(ts.latency_cycles.quantile(0.5)),
+                 cp::fmt_i(ts.latency_cycles.quantile(0.99))});
+    }
+    t.print(std::cout);
+  }
+  return rep.verify_failures == 0 ? 0 : 1;
 }
 
 int cmd_kem(const Options& opt) {
@@ -428,6 +615,10 @@ int write_trace(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version") {
+    std::cout << "cryptopim " << CRYPTOPIM_GIT_VERSION << "\n";
+    return 0;
+  }
   Options opt;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -454,6 +645,7 @@ int main(int argc, char** argv) {
     else if (cmd == "report") rc = cmd_report(opt);
     else if (cmd == "schedule") rc = cmd_schedule(opt);
     else if (cmd == "kem") rc = cmd_kem(opt);
+    else if (cmd == "serve") rc = cmd_serve(opt);
     else {
       std::cerr << "error: unknown command: " << cmd << "\n";
       return usage();

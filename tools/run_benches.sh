@@ -48,6 +48,7 @@ bench_ablation_bitwidth
 bench_rns_he
 bench_ablation_merged
 bench_fault_campaign
+bench_runtime_service
 "
 
 failures=0
