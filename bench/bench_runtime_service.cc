@@ -26,12 +26,8 @@ namespace {
 
 double class_capacity_per_s(const cp::runtime::ServingConfig& cfg,
                             std::uint32_t degree) {
-  const auto plan = cfg.chip.plan_for_degree(degree);
-  const auto perf = cp::model::cryptopim_pipelined(
-      std::min(degree, cfg.chip.design_max_n));
-  const double occupancy =
-      static_cast<double>(plan.segments) * perf.slowest_stage_cycles;
-  return plan.superbanks * (1e9 / cfg.cycle_ns) / occupancy;
+  return cp::model::class_capacity_per_s(cfg.chip, degree, /*failed_banks=*/0,
+                                         cfg.cycle_ns);
 }
 
 }  // namespace

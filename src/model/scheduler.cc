@@ -6,6 +6,16 @@
 
 namespace cryptopim::model {
 
+double class_capacity_per_s(const arch::ChipConfig& chip, std::uint32_t degree,
+                            unsigned failed_banks, double cycle_ns) {
+  const auto plan = chip.plan_for_degree(degree, failed_banks);
+  const auto perf = cryptopim_pipelined(std::min(degree, chip.design_max_n));
+  const double occupancy_cycles =
+      static_cast<double>(plan.segments) * perf.slowest_stage_cycles;
+  const double cycles_per_s = 1e9 / cycle_ns;
+  return plan.superbanks * cycles_per_s / occupancy_cycles;
+}
+
 ScheduleResult ChipScheduler::schedule(std::span<const Job> jobs) const {
   // Group by degree; largest degree first (the most constrained classes
   // get scheduled while the rest of the list is still pending).

@@ -41,6 +41,17 @@ struct ScheduleResult {
   double throughput_per_s = 0;
 };
 
+/// Bank-limited steady-state service capacity of one degree class, in
+/// requests per second: live superbank lanes divided by the lane
+/// occupancy (`segments * slowest-stage beat`). `failed_banks` prices a
+/// degraded chip — spares absorb failures one-for-one, further failures
+/// shrink the lane count exactly as plan_for_degree does — which is what
+/// the serving runtime's admission and the capacity-relative benches
+/// need to stay honest after mid-stream bank losses. Throws (from
+/// plan_for_degree) when the degraded chip cannot host a single lane.
+double class_capacity_per_s(const arch::ChipConfig& chip, std::uint32_t degree,
+                            unsigned failed_banks = 0, double cycle_ns = 1.1);
+
 class ChipScheduler {
  public:
   /// `failed_banks` schedules on a degraded chip: spares absorb failures

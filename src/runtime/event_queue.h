@@ -22,18 +22,31 @@ enum class EventKind : std::uint8_t {
   kQueueScan,    ///< a lane (or a carved lane) becomes free: try dispatch
   kCompletion,   ///< a dispatched request drains from its pipeline
   kBankFailure,  ///< a physical bank drops out mid-stream
+  // -- resilience layer (scheduled only when a feature is enabled) ----------
+  kTimeout,       ///< a queued request's deadline passes: cancel it
+  kRetryEnqueue,  ///< a backed-off retry re-enters the admission queue
+  kHedge,         ///< straggler check: duplicate onto a second lane
+  kHealth,        ///< periodic health-monitor tick (scrubs, metrics)
+  kChaos,         ///< a chaos fault episode strikes a lane
 };
 
 struct Event {
   std::uint64_t cycle = 0;
   std::uint64_t seq = 0;  ///< push order; breaks same-cycle ties
   EventKind kind = EventKind::kQueueScan;
-  std::uint64_t dispatch_id = 0;  ///< kCompletion: which in-flight entry
-  Request request;                ///< kArrival payload
+  /// kCompletion/kHedge: in-flight dispatch id; kTimeout: request id.
+  std::uint64_t dispatch_id = 0;
+  Request request;  ///< kArrival / kRetryEnqueue payload
 };
 
 class EventQueue {
  public:
+  /// `first_seq` seeds the tie-breaking sequence counter; the default is
+  /// what the runtime uses. A non-zero start exists for tests probing
+  /// ordering stability near the counter's (unreachable in practice —
+  /// ~1.8e19 pushes) wrap-around.
+  explicit EventQueue(std::uint64_t first_seq = 0) : next_seq_(first_seq) {}
+
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
 

@@ -30,6 +30,9 @@ struct Request {
   /// Carry data: on completion the result is Freivalds-verified.
   bool verify = false;
   std::uint64_t data_seed = 0;
+  /// Retry attempts consumed so far (resilience layer); latency is still
+  /// measured from the original arrival_cycle.
+  unsigned attempts = 0;
 };
 
 }  // namespace cryptopim::runtime

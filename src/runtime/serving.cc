@@ -82,6 +82,9 @@ obs::Json ServingReport::to_json() const {
   j.set("deadline_misses", deadline_misses);
   j.set("verified", verified);
   j.set("verify_failures", verify_failures);
+  // Emitted only when a resilience feature ran: a resilience-off report
+  // stays byte-identical to the pre-resilience schema.
+  if (resilience_enabled) j.set("resilience", resilience.to_json());
   j.set("busy_bank_cycles", busy_bank_cycles);
   j.set("utilization", utilization);
   j.set("throughput_per_s", throughput_per_s);
@@ -124,6 +127,10 @@ obs::Json ServingReport::to_json() const {
 
 // -- runtime ------------------------------------------------------------------
 
+/// A chaos/wear corruption window that never closes on its own (wear
+/// faults persist until the lane is remapped onto fresh banks).
+constexpr std::uint64_t kForever = ~std::uint64_t{0};
+
 struct ServingRuntime::Lane {
   std::uint32_t degree = 0;
   unsigned banks = 0;
@@ -131,12 +138,22 @@ struct ServingRuntime::Lane {
   unsigned in_flight = 0;
   bool dead = false;
   std::uint32_t track = 0;
+
+  // -- resilience (inert defaults when the layer is off) ---------------------
+  CircuitBreaker breaker;
+  std::uint64_t slow_until = 0;     ///< chaos slowdown episode end
+  std::uint64_t corrupt_until = 0;  ///< chaos/wear corruption end (kForever
+                                    ///< for wear: only a remap clears it)
+  bool draining = false;            ///< worn: no new work, remap when empty
 };
 
 struct ServingRuntime::InFlight {
   Request request;
   std::size_t lane = 0;
   std::uint64_t dispatched_at = 0;
+  bool corrupt = false;      ///< dispatched into a corrupting window
+  bool is_hedge = false;     ///< the duplicate of a hedged pair
+  std::uint64_t hedge_partner = 0;  ///< other dispatch id, 0 = unhedged
 };
 
 ServingRuntime::ServingRuntime(ServingConfig cfg) : cfg_(std::move(cfg)) {}
@@ -150,6 +167,10 @@ unsigned ServingRuntime::usable_banks() const noexcept {
 }
 
 void ServingRuntime::schedule_scan(std::uint64_t cycle) {
+  // The armed-cycle set is cleared as each scan fires, so a wake-up at
+  // or before the current cycle would pop and re-arm itself in an
+  // infinite same-cycle loop; the earliest useful re-scan is next cycle.
+  if (cycle <= now_) cycle = now_ + 1;
   if (!scan_cycles_.insert(cycle).second) return;  // already armed
   Event e;
   e.cycle = cycle;
@@ -172,10 +193,14 @@ ServingReport ServingRuntime::run() {
   const double cyc_per_us = cfg_.cycles_per_us();
   const auto horizon =
       static_cast<std::uint64_t>(cfg_.duration_us * cyc_per_us);
+  horizon_ = horizon;
   report_ = ServingReport{};
   report_.policy = cfg_.policy;
   report_.duration_cycles = horizon;
   report_.cycles_per_us = cyc_per_us;
+
+  resilience_on_ = cfg_.resilience.enabled();
+  report_.resilience_enabled = resilience_on_;
 
   const std::uint32_t tenants = std::max<std::uint32_t>(cfg_.workload.tenants, 1);
   tenant_usage_.assign(tenants, 0.0);
@@ -217,6 +242,25 @@ ServingReport ServingRuntime::run() {
     events_.push(std::move(e));
   }
 
+  if (resilience_on_) {
+    const auto& res = cfg_.resilience;
+    const std::uint32_t tenants_n =
+        std::max<std::uint32_t>(cfg_.workload.tenants, 1);
+    retry_budget_ = std::make_unique<RetryBudget>(tenants_n,
+                                                  res.retry_budget_ratio);
+    shedder_ = CoDelShedder(
+        static_cast<std::uint64_t>(res.codel_target_us * cyc_per_us),
+        static_cast<std::uint64_t>(res.codel_interval_us * cyc_per_us));
+    health_ = std::make_unique<HealthMonitor>(res, cfg_.workload.seed);
+    chaos_rng_ = Xoshiro256(res.chaos.seed);
+    service_hist_ = obs::Histogram{};
+    health_tick_armed_ = false;
+    if (res.chaos.enabled) arm_chaos_episode();
+    if (res.wear_limit > 0 || res.chaos.enabled) {
+      arm_health_tick(res.health_period_cycles);
+    }
+  }
+
   while (!events_.empty()) {
     const Event e = events_.pop();
     now_ = e.cycle;
@@ -229,6 +273,11 @@ ServingReport ServingRuntime::run() {
         break;
       case EventKind::kCompletion: handle_completion(e); break;
       case EventKind::kBankFailure: handle_bank_failure(e); break;
+      case EventKind::kTimeout: handle_timeout(e); break;
+      case EventKind::kRetryEnqueue: handle_retry_enqueue(e); break;
+      case EventKind::kHedge: handle_hedge(e); break;
+      case EventKind::kHealth: handle_health(e); break;
+      case EventKind::kChaos: handle_chaos(e); break;
     }
   }
 
@@ -295,8 +344,41 @@ void ServingRuntime::handle_arrival(const Event& e) {
         static_cast<std::uint64_t>(cfg_.deadline_slack *
                                    static_cast<double>(r.service_cycles));
   }
+  const bool hard_deadline = resilience_on_ && cfg_.resilience.deadline_us > 0;
+  if (hard_deadline) {
+    r.deadline_cycle =
+        r.arrival_cycle + static_cast<std::uint64_t>(
+                              cfg_.resilience.deadline_us *
+                              cfg_.cycles_per_us());
+    // Deadline propagation into admission: the class backlog ahead of
+    // this request, served at the class's live lane count, must still
+    // leave room for one service before the deadline. Rejecting here is
+    // kinder than admitting work that can only miss.
+    std::uint64_t backlog = 0;
+    for (const Request& p : pending_) backlog += p.degree == r.degree;
+    unsigned lanes_alive = 0;
+    for (const Lane& lane : lanes_) {
+      lanes_alive += !lane.dead && !lane.draining && lane.degree == r.degree;
+    }
+    // No lane yet: one will be carved, so the backlog drains at 1 lane.
+    const std::uint64_t wait =
+        backlog * g.occupancy() / std::max(1u, lanes_alive);
+    if (now_ + wait + g.service() > r.deadline_cycle) {
+      report_.resilience.rejected_deadline += 1;
+      ts.rejected += 1;
+      return;
+    }
+  }
   report_.admitted += 1;
   ts.admitted += 1;
+  if (retry_budget_) retry_budget_->on_admitted(r.tenant);
+  if (hard_deadline) {
+    Event te;
+    te.cycle = r.deadline_cycle;
+    te.kind = EventKind::kTimeout;
+    te.dispatch_id = r.id;
+    events_.push(std::move(te));
+  }
   pending_.push_back(std::move(r));
   try_dispatch();
 }
@@ -321,15 +403,41 @@ void ServingRuntime::try_dispatch() {
       blocked.insert(pending_[idx].degree);
       continue;
     }
+    // CoDel-style shedding at dequeue: when the minimum queueing sojourn
+    // has stayed above target for a full interval, drop instead of
+    // serving (and tighten the drop cadence) until the queue recovers.
+    if (shedder_.enabled()) {
+      const std::uint64_t sojourn = now_ - pending_[idx].arrival_cycle;
+      if (shedder_.should_drop(sojourn, now_)) {
+        Request dropped = std::move(pending_[idx]);
+        pending_.erase(pending_.begin() + static_cast<long>(idx));
+        report_.resilience.shed += 1;
+        notify_request_gone(dropped);
+        continue;
+      }
+    }
     dispatch(idx, *lane);
   }
 }
 
-ServingRuntime::Lane* ServingRuntime::acquire_lane(std::uint32_t degree) {
+ServingRuntime::Lane* ServingRuntime::acquire_lane(std::uint32_t degree,
+                                                   std::size_t exclude,
+                                                   bool allow_scan) {
   Lane* free_now = nullptr;
   std::uint64_t soonest = ~std::uint64_t{0};
-  for (Lane& lane : lanes_) {
-    if (lane.dead || lane.degree != degree) continue;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.dead || lane.degree != degree || i == exclude) continue;
+    if (lane.draining) continue;  // worn: finishing up, remap pending
+    if (!lane.breaker.can_accept(now_)) {
+      // Open: re-scan when the open period elapses. Half-open with the
+      // probe in flight (open_until already passed): the probe's
+      // completion runs try_dispatch, so no wake-up is needed — and a
+      // past-cycle scan would re-arm itself forever.
+      if (lane.breaker.open_until() > now_)
+        soonest = std::min(soonest, lane.breaker.open_until());
+      continue;
+    }
     if (lane.free_at <= now_) {
       if (!free_now || lane.free_at < free_now->free_at) free_now = &lane;
     } else {
@@ -337,6 +445,7 @@ ServingRuntime::Lane* ServingRuntime::acquire_lane(std::uint32_t degree) {
     }
   }
   if (free_now) return free_now;
+  if (!allow_scan) return nullptr;  // hedges only use lanes free right now
 
   const LaneGeometry g = geometry_for(cfg_.chip, degree);
   const unsigned usable = usable_banks();
@@ -363,6 +472,10 @@ ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
   lane.banks = g.banks;
   lane.free_at = now_ + cfg_.repartition_cycles;
   lane.track = kRuntimeTrackBase + 1 + static_cast<std::uint32_t>(lanes_.size());
+  if (resilience_on_) {
+    lane.breaker = CircuitBreaker(cfg_.resilience.breaker_k,
+                                  cfg_.resilience.breaker_open_cycles);
+  }
   allocated_banks_ += g.banks;
   report_.repartitions += 1;
   auto& tr = obs::tracer();
@@ -400,7 +513,25 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
 
   const LaneGeometry g = geometry_for(cfg_.chip, r.degree);
   const std::uint64_t t0 = now_;
-  const std::uint64_t completion = t0 + g.service();
+  const std::size_t lane_idx = static_cast<std::size_t>(&lane - lanes_.data());
+  std::uint64_t service = g.service();
+  if (resilience_on_) {
+    if (lane.breaker.note_dispatch(t0)) report_.resilience.breaker_probes += 1;
+    if (health_ && health_->note_dispatch(lane_idx)) {
+      // The lane crossed its wear limit on this very write: it corrupts
+      // from here on and only a remap onto fresh banks clears it. This
+      // is the failure mode the proactive drain exists to prevent.
+      lane.corrupt_until = kForever;
+      lane.draining = true;
+      report_.resilience.wear_corruptions += 1;
+    }
+    if (health_ && health_->wants_drain(lane_idx)) lane.draining = true;
+    if (lane.slow_until > t0) {
+      service = static_cast<std::uint64_t>(
+          static_cast<double>(service) * cfg_.resilience.chaos.slow_factor);
+    }
+  }
+  const std::uint64_t completion = t0 + service;
   lane.free_at = t0 + g.occupancy();
   lane.in_flight += 1;
 
@@ -414,8 +545,9 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   const std::uint64_t id = next_dispatch_id_++;
   InFlight inf;
   inf.request = std::move(r);
-  inf.lane = static_cast<std::size_t>(&lane - lanes_.data());
+  inf.lane = lane_idx;
   inf.dispatched_at = t0;
+  if (resilience_on_) inf.corrupt = chaos_corrupting(lane, t0);
   in_flight_.emplace(id, std::move(inf));
 
   Event e;
@@ -423,16 +555,63 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   e.kind = EventKind::kCompletion;
   e.dispatch_id = id;
   events_.push(std::move(e));
+
+  if (resilience_on_ && cfg_.resilience.hedge) {
+    // Straggler check: if the request is still running after the hedge
+    // delay, duplicate it onto a second lane (first result wins). The
+    // check lands after the nominal completion only when the lane is
+    // chaos-slowed — exactly the straggler case hedging targets.
+    const std::uint64_t delay = hedge_delay_cycles();
+    if (delay > 0) {
+      Event he;
+      he.cycle = t0 + delay;
+      he.kind = EventKind::kHedge;
+      he.dispatch_id = id;
+      events_.push(std::move(he));
+    }
+  }
 }
 
 void ServingRuntime::handle_completion(const Event& e) {
   const auto it = in_flight_.find(e.dispatch_id);
-  if (it == in_flight_.end()) return;  // cancelled by a bank failure
+  if (it == in_flight_.end()) return;  // cancelled (bank failure / hedge)
   const InFlight inf = std::move(it->second);
   in_flight_.erase(it);
-  lanes_[inf.lane].in_flight -= 1;
+  Lane& lane = lanes_[inf.lane];
+  lane.in_flight -= 1;
 
   const Request& r = inf.request;
+
+  if (resilience_on_) {
+    service_hist_.add(now_ - inf.dispatched_at);
+    // Hedged pair: first result wins, the loser is cancelled.
+    if (inf.hedge_partner != 0) {
+      cancel_in_flight(inf.hedge_partner);
+      if (inf.is_hedge) report_.resilience.hedge_wins += 1;
+    }
+    if (inf.corrupt && cfg_.resilience.chaos_detect) {
+      // The layered checks of the reliability stack (write-verify,
+      // parity, Freivalds) catch the corrupt result; never delivered.
+      report_.resilience.detected_corruptions += 1;
+      record_lane_outcome(lane, inf.lane, false);
+      if (lane.draining && lane.in_flight == 0) {
+        remap_drained_lane(lane, inf.lane);
+      }
+      if (!schedule_retry(r, /*count_as_bank_retry=*/false)) {
+        report_.resilience.failed += 1;
+        notify_request_gone(r);
+      }
+      try_dispatch();
+      return;
+    }
+    if (inf.corrupt) {
+      // Detection disabled: the corrupt result sails through as if good
+      // (this counter existing at zero is what proves the checks work).
+      report_.resilience.wrong_accepted += 1;
+    }
+    record_lane_outcome(lane, inf.lane, /*ok=*/true);
+  }
+
   const std::uint64_t latency = now_ - r.arrival_cycle;
   report_.completed += 1;
   report_.latency_cycles.add(latency);
@@ -453,6 +632,10 @@ void ServingRuntime::handle_completion(const Event& e) {
             "runtime", inf.dispatched_at, now_ - inf.dispatched_at);
   }
   if (r.verify) verify_result(r);
+
+  if (resilience_on_ && lane.draining && lane.in_flight == 0) {
+    remap_drained_lane(lane, inf.lane);
+  }
 
   if (auto next = workload_->next_after_completion(r, now_)) {
     Event ne;
@@ -481,14 +664,33 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     return victim;
   };
 
+  // Requeue one torn-down in-flight request. Under the resilience layer
+  // a victim with a live hedged twin is simply dropped (the twin still
+  // delivers), and teardown retries flow through the backoff + budget
+  // path so repeated failures cannot amplify into a storm.
+  auto requeue_victim = [this](const InFlight& inf) {
+    if (resilience_on_ && inf.hedge_partner != 0 &&
+        in_flight_.count(inf.hedge_partner) != 0) {
+      return;
+    }
+    if (resilience_on_ && cfg_.resilience.max_retries > 0) {
+      if (!schedule_retry(inf.request, /*count_as_bank_retry=*/true)) {
+        report_.resilience.failed += 1;
+        notify_request_gone(inf.request);
+      }
+      return;
+    }
+    pending_.push_back(inf.request);
+    report_.retried += 1;
+  };
+
   Lane* victim = pick_victim();
   if (victim) {
     const std::size_t victim_idx =
         static_cast<std::size_t>(victim - lanes_.data());
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
       if (it->second.lane == victim_idx) {
-        pending_.push_back(std::move(it->second.request));
-        report_.retried += 1;
+        requeue_victim(it->second);
         it = in_flight_.erase(it);
       } else {
         ++it;
@@ -520,8 +722,7 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     const std::size_t idx = static_cast<std::size_t>(next - lanes_.data());
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
       if (it->second.lane == idx) {
-        pending_.push_back(std::move(it->second.request));
-        report_.retried += 1;
+        requeue_victim(it->second);
         it = in_flight_.erase(it);
       } else {
         ++it;
@@ -575,6 +776,274 @@ void ServingRuntime::verify_result(const Request& r) {
   }
 }
 
+// -- resilience ---------------------------------------------------------------
+
+void ServingRuntime::handle_timeout(const Event& e) {
+  // Queued-timeout cancellation: the deadline passed while the request
+  // sat in the admission queue. A dispatched request is past saving by
+  // cancellation (the lane slot is spent either way) so it is left to
+  // complete and count a deadline miss.
+  const std::uint64_t rid = e.dispatch_id;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id != rid) continue;
+    const Request r = std::move(*it);
+    pending_.erase(it);
+    report_.resilience.timed_out += 1;
+    notify_request_gone(r);
+    return;
+  }
+}
+
+void ServingRuntime::handle_retry_enqueue(const Event& e) {
+  // Retries re-enter the queue past the capacity check: the request was
+  // already admitted (and counted) once; capacity governs new work.
+  pending_.push_back(e.request);
+  try_dispatch();
+}
+
+void ServingRuntime::handle_hedge(const Event& e) {
+  const auto it = in_flight_.find(e.dispatch_id);
+  if (it == in_flight_.end()) return;        // finished before the check
+  if (it->second.is_hedge) return;           // never hedge a hedge
+  if (it->second.hedge_partner != 0) return;  // already hedged
+  const Request& orig = it->second.request;
+
+  // Only a lane that is free *right now* and distinct from the
+  // straggler's own: a hedge that would queue is worthless.
+  Lane* lane = acquire_lane(orig.degree, it->second.lane,
+                            /*allow_scan=*/false);
+  if (!lane) return;
+  const std::size_t lane_idx = static_cast<std::size_t>(lane - lanes_.data());
+
+  const LaneGeometry g = geometry_for(cfg_.chip, orig.degree);
+  std::uint64_t service = g.service();
+  if (lane->breaker.note_dispatch(now_)) report_.resilience.breaker_probes += 1;
+  if (health_ && health_->note_dispatch(lane_idx)) {
+    lane->corrupt_until = kForever;
+    lane->draining = true;
+    report_.resilience.wear_corruptions += 1;
+  }
+  if (health_ && health_->wants_drain(lane_idx)) lane->draining = true;
+  if (lane->slow_until > now_) {
+    service = static_cast<std::uint64_t>(
+        static_cast<double>(service) * cfg_.resilience.chaos.slow_factor);
+  }
+  lane->free_at = now_ + g.occupancy();
+  lane->in_flight += 1;
+  // Hedges burn real bank-cycles but are not charged to the tenant's
+  // fairness ledger — the duplicate is the runtime's choice, not theirs.
+  report_.busy_bank_cycles +=
+      static_cast<std::uint64_t>(lane->banks) * g.occupancy();
+
+  const std::uint64_t id = next_dispatch_id_++;
+  InFlight dup;
+  dup.request = orig;
+  dup.lane = lane_idx;
+  dup.dispatched_at = now_;
+  dup.corrupt = chaos_corrupting(*lane, now_);
+  dup.is_hedge = true;
+  dup.hedge_partner = e.dispatch_id;
+  in_flight_.emplace(id, std::move(dup));
+  it->second.hedge_partner = id;
+  report_.resilience.hedges += 1;
+
+  Event ce;
+  ce.cycle = now_ + service;
+  ce.kind = EventKind::kCompletion;
+  ce.dispatch_id = id;
+  events_.push(std::move(ce));
+}
+
+void ServingRuntime::handle_health(const Event&) {
+  health_tick_armed_ = false;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.dead) continue;
+    if (health_ && health_->wants_drain(i)) lane.draining = true;
+    if (lane.draining && lane.in_flight == 0) {
+      remap_drained_lane(lane, i);
+      continue;
+    }
+    // Background scrub: an unhealthy lane with nothing in flight and no
+    // imminent work re-programs its cells during the idle window. Scrubs
+    // forgive transient failure history; they cannot un-wear a column.
+    if (health_ && health_->wants_scrub(i) && lane.in_flight == 0 &&
+        lane.free_at <= now_) {
+      lane.free_at = now_ + cfg_.resilience.scrub_cycles;
+      health_->on_scrub(i);
+      report_.resilience.scrubs += 1;
+      auto& tr = obs::tracer();
+      if (tr.enabled()) {
+        tr.emit(lane.track, "scrub", "resilience", now_,
+                cfg_.resilience.scrub_cycles);
+      }
+    }
+  }
+  // Keep ticking while the simulation is live; stop once arrivals are
+  // done and the pipes have drained so the event loop can terminate.
+  if (now_ < horizon_ || !pending_.empty() || !in_flight_.empty()) {
+    arm_health_tick(cfg_.resilience.health_period_cycles);
+  }
+}
+
+void ServingRuntime::handle_chaos(const Event&) {
+  const ChaosConfig& ch = cfg_.resilience.chaos;
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].dead) live.push_back(i);
+  }
+  if (!live.empty()) {
+    const std::size_t idx =
+        live[chaos_rng_.next_below(live.size())];
+    Lane& lane = lanes_[idx];
+    const std::uint64_t dur = exponential_cycles(
+        chaos_rng_, ch.mean_duration_us * cfg_.cycles_per_us());
+    const bool slow = uniform_unit(chaos_rng_) < ch.slow_fraction;
+    if (slow) {
+      lane.slow_until = std::max(lane.slow_until, now_ + dur);
+    } else if (lane.corrupt_until != kForever) {
+      lane.corrupt_until = std::max(lane.corrupt_until, now_ + dur);
+    }
+    report_.resilience.chaos_episodes += 1;
+    auto& tr = obs::tracer();
+    if (tr.enabled()) {
+      tr.emit(lane.track, slow ? "chaos: slow" : "chaos: corrupt",
+              "resilience", now_, dur);
+    }
+  }
+  arm_chaos_episode();
+}
+
+bool ServingRuntime::schedule_retry(Request r, bool count_as_bank_retry) {
+  if (r.attempts >= cfg_.resilience.max_retries) return false;
+  const std::uint64_t backoff = retry_backoff(r.attempts + 1);
+  // A retry that cannot finish by the deadline is not worth a token.
+  if (r.deadline_cycle > 0 &&
+      now_ + backoff + r.service_cycles > r.deadline_cycle) {
+    return false;
+  }
+  if (retry_budget_ && !retry_budget_->try_spend(r.tenant)) {
+    report_.resilience.retry_budget_denied += 1;
+    return false;
+  }
+  r.attempts += 1;
+  report_.resilience.retries += 1;
+  if (count_as_bank_retry) report_.retried += 1;
+  Event e;
+  e.cycle = now_ + backoff;
+  e.kind = EventKind::kRetryEnqueue;
+  e.request = std::move(r);
+  events_.push(std::move(e));
+  return true;
+}
+
+void ServingRuntime::record_lane_outcome(Lane& lane, std::size_t lane_idx,
+                                         bool ok) {
+  if (health_) health_->record_verify(lane_idx, ok);
+  if (!lane.breaker.enabled()) return;
+  const auto prev = lane.breaker.state();
+  if (lane.breaker.record(ok, now_)) report_.resilience.breaker_opens += 1;
+  if (ok && prev == CircuitBreaker::State::kHalfOpen) {
+    report_.resilience.breaker_closes += 1;
+  }
+  if (lane.breaker.state() == CircuitBreaker::State::kOpen) {
+    // Re-scan when the open period elapses so queued work in this class
+    // is not stranded if this was its only lane.
+    schedule_scan(lane.breaker.open_until());
+  }
+}
+
+void ServingRuntime::cancel_in_flight(std::uint64_t dispatch_id) {
+  const auto it = in_flight_.find(dispatch_id);
+  if (it == in_flight_.end()) return;  // already gone
+  Lane& lane = lanes_[it->second.lane];
+  lane.in_flight -= 1;
+  const std::size_t lane_idx = it->second.lane;
+  in_flight_.erase(it);  // its kCompletion event will find nothing
+  report_.resilience.hedge_cancelled += 1;
+  if (lane.draining && lane.in_flight == 0) {
+    remap_drained_lane(lane, lane_idx);
+  }
+}
+
+void ServingRuntime::remap_drained_lane(Lane& lane, std::size_t lane_idx) {
+  lane.draining = false;
+  lane.slow_until = 0;
+  lane.corrupt_until = 0;
+  lane.free_at = std::max(lane.free_at, now_) + cfg_.repartition_cycles;
+  lane.breaker = CircuitBreaker(cfg_.resilience.breaker_k,
+                                cfg_.resilience.breaker_open_cycles);
+  if (health_) health_->on_remap(lane_idx);
+  report_.resilience.proactive_remaps += 1;
+  report_.repartitions += 1;
+  schedule_scan(lane.free_at);
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    tr.emit(kRuntimeTrackBase, "wear remap lane " + std::to_string(lane_idx),
+            "resilience", now_, cfg_.repartition_cycles);
+  }
+}
+
+void ServingRuntime::notify_request_gone(const Request& r) {
+  // Shed / timed-out / failed requests still complete the closed-loop
+  // cycle: the client observes the error and re-issues after thinking.
+  if (auto next = workload_->next_after_completion(r, now_)) {
+    Event ne;
+    ne.cycle = next->cycle;
+    ne.kind = EventKind::kArrival;
+    ne.request = next->request;
+    events_.push(std::move(ne));
+  }
+}
+
+std::uint64_t ServingRuntime::hedge_delay_cycles() const {
+  const ResilienceConfig& res = cfg_.resilience;
+  if (res.hedge_delay_us > 0) {
+    return static_cast<std::uint64_t>(res.hedge_delay_us *
+                                      cfg_.cycles_per_us());
+  }
+  // p99-derived: hedge only after enough service-time samples to make
+  // the tail estimate meaningful; until then stragglers run unhedged.
+  if (service_hist_.count() < res.hedge_min_samples) return 0;
+  return service_hist_.quantile(0.99);
+}
+
+std::uint64_t ServingRuntime::retry_backoff(unsigned attempts) const {
+  const ResilienceConfig& res = cfg_.resilience;
+  std::uint64_t b = res.retry_backoff_cycles;
+  for (unsigned i = 1; i < attempts && b < res.retry_backoff_cap_cycles; ++i) {
+    b <<= 1;
+  }
+  return std::min(b, res.retry_backoff_cap_cycles);
+}
+
+bool ServingRuntime::chaos_corrupting(const Lane& lane,
+                                      std::uint64_t at) const {
+  return at < lane.corrupt_until;
+}
+
+void ServingRuntime::arm_health_tick(std::uint64_t delay) {
+  if (health_tick_armed_) return;
+  health_tick_armed_ = true;
+  Event e;
+  e.cycle = now_ + delay;
+  e.kind = EventKind::kHealth;
+  events_.push(std::move(e));
+}
+
+void ServingRuntime::arm_chaos_episode() {
+  // Episodes strike only within the arrival horizon; the drain phase
+  // runs fault-free so the event loop terminates.
+  const std::uint64_t gap = exponential_cycles(
+      chaos_rng_, cfg_.resilience.chaos.mean_interval_us * cfg_.cycles_per_us());
+  const std::uint64_t at = now_ + gap;
+  if (at > horizon_) return;
+  Event e;
+  e.cycle = at;
+  e.kind = EventKind::kChaos;
+  events_.push(std::move(e));
+}
+
 void ServingRuntime::publish_metrics() const {
   auto& reg = obs::metrics();
   reg.counter("cryptopim.runtime.submitted", "requests")
@@ -597,6 +1066,7 @@ void ServingRuntime::publish_metrics() const {
       .add(report_.verify_failures);
   reg.counter("cryptopim.runtime.busy_bank_cycles", "bank-cycles")
       .add(report_.busy_bank_cycles);
+  if (report_.resilience_enabled) report_.resilience.publish();
 }
 
 }  // namespace cryptopim::runtime

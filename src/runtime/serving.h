@@ -33,6 +33,16 @@
 // through the software mirror of the datapath and checks it with the
 // reliability layer's Freivalds verifier, so a stream "completes with
 // verified results" in the literal sense.
+//
+// Resilience (runtime/resilience.h, all off by default): per-request
+// deadlines with admission feasibility rejection and queued-timeout
+// cancellation, budgeted retries with capped exponential backoff, hedged
+// duplicates for stragglers (first result wins), CoDel-style load
+// shedding, per-lane circuit breakers, and a HealthMonitor that scores
+// lanes from FaultModel wear counters + verification outcomes, scrubs
+// unhealthy idle lanes and proactively drains/remaps worn lanes before
+// they corrupt traffic. `--chaos` composes seeded lane fault episodes
+// with live traffic to exercise the whole stack deterministically.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +58,7 @@
 #include "runtime/event_queue.h"
 #include "runtime/policy.h"
 #include "runtime/request.h"
+#include "runtime/resilience.h"
 #include "runtime/workload.h"
 
 namespace cryptopim::runtime {
@@ -87,6 +98,9 @@ struct ServingConfig {
   unsigned fail_banks = 1;
   /// Freivalds points for data-carrying requests.
   unsigned verify_points = 2;
+
+  // -- resilience (all features default off; see runtime/resilience.h) --------
+  ResilienceConfig resilience;
 
   /// Crossbar cycle time (defaults to the paper's 1.1 ns device).
   double cycle_ns = 1.1;
@@ -130,6 +144,11 @@ struct ServingReport {
 
   std::uint64_t verified = 0;
   std::uint64_t verify_failures = 0;
+
+  /// Resilience ledger; serialized (and the section emitted in to_json)
+  /// only when a resilience feature was enabled for the run.
+  bool resilience_enabled = false;
+  ResilienceStats resilience;
 
   std::uint64_t busy_bank_cycles = 0;
   double utilization = 0;       ///< busy bank-cycles / (banks x drain time)
@@ -176,7 +195,12 @@ class ServingRuntime {
   /// A lane of `degree`'s class that can accept work *now*, carving a
   /// new one from free banks if needed; nullptr when the class must
   /// wait (a wake-up scan is scheduled whenever one is known).
-  Lane* acquire_lane(std::uint32_t degree);
+  /// `exclude` masks one lane index (hedging must pick a *second* lane);
+  /// `allow_scan` = false suppresses wake-up scans (hedges that find no
+  /// lane are simply not launched).
+  Lane* acquire_lane(std::uint32_t degree,
+                     std::size_t exclude = static_cast<std::size_t>(-1),
+                     bool allow_scan = true);
   Lane* carve_lane(std::uint32_t degree);
   /// Returns banks of idle lanes (no in-flight work, nothing pending in
   /// their class) to the free pool until `needed` banks are available.
@@ -187,16 +211,51 @@ class ServingRuntime {
   void schedule_scan(std::uint64_t cycle);
   void publish_metrics() const;
 
+  // -- resilience -------------------------------------------------------------
+  void handle_timeout(const Event& e);
+  void handle_retry_enqueue(const Event& e);
+  void handle_hedge(const Event& e);
+  void handle_health(const Event& e);
+  void handle_chaos(const Event& e);
+  /// A request's result was detected bad (or its lane was torn down):
+  /// retry within budget/attempt caps, else fail it. Returns true when a
+  /// retry was scheduled.
+  bool schedule_retry(Request r, bool count_as_bank_retry);
+  /// Record a request outcome on its lane's breaker + health state.
+  void record_lane_outcome(Lane& lane, std::size_t lane_idx, bool ok);
+  /// Cancel an in-flight entry (hedge loser / torn-down duplicate).
+  void cancel_in_flight(std::uint64_t dispatch_id);
+  /// Remap a fully drained worn lane onto fresh banks.
+  void remap_drained_lane(Lane& lane, std::size_t lane_idx);
+  /// The request failed for good (no retry): tell the closed-loop client
+  /// so it re-issues, exactly like a completion would.
+  void notify_request_gone(const Request& r);
+  std::uint64_t hedge_delay_cycles() const;
+  std::uint64_t retry_backoff(unsigned attempts) const;
+  bool chaos_corrupting(const Lane& lane, std::uint64_t at) const;
+  void arm_health_tick(std::uint64_t cycle);
+  void arm_chaos_episode();
+
   ServingConfig cfg_;
   std::unique_ptr<Policy> policy_;
   std::unique_ptr<WorkloadGenerator> workload_;
 
   EventQueue events_;
   std::uint64_t now_ = 0;
+  std::uint64_t horizon_ = 0;
   std::vector<Request> pending_;  ///< admitted, waiting for a lane
   std::vector<Lane> lanes_;
   std::map<std::uint64_t, InFlight> in_flight_;
   std::uint64_t next_dispatch_id_ = 1;
+
+  // -- resilience state (inert when cfg_.resilience.enabled() is false) -------
+  bool resilience_on_ = false;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  CoDelShedder shedder_;
+  std::unique_ptr<HealthMonitor> health_;
+  Xoshiro256 chaos_rng_{1};
+  bool health_tick_armed_ = false;
+  obs::Histogram service_hist_;  ///< dispatch -> completion, for hedge p99
 
   unsigned allocated_banks_ = 0;
   unsigned failed_banks_ = 0;

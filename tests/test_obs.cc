@@ -176,6 +176,47 @@ TEST(Metrics, HistogramQuantileWalksBuckets) {
   EXPECT_EQ(hist.quantile(1.0), 900u);   // max
 }
 
+TEST(Metrics, HistogramEmptyIsAllZeros) {
+  // The documented empty-histogram contract: every accessor returns 0,
+  // every quantile (including the p=0 and p=1 extremes) returns 0, and
+  // the mean does not divide by zero. Serving reports lean on this when
+  // a run completes nothing.
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.quantile(0.0), 0u);
+  EXPECT_EQ(hist.quantile(0.5), 0u);
+  EXPECT_EQ(hist.quantile(1.0), 0u);
+}
+
+TEST(Metrics, HistogramFullQuantileIsExactMax) {
+  // p >= 1 must return the exact maximum (not a pow2 bucket edge), and
+  // p beyond 1 clamps rather than reading past the last bucket.
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  hist.add(3);
+  hist.add(1000);  // bucket [512, 1024), well below its upper edge
+  EXPECT_EQ(hist.quantile(1.0), 1000u);
+  EXPECT_EQ(hist.quantile(2.0), 1000u);
+  EXPECT_EQ(hist.quantile(-0.5), 3u);  // p <= 0: the exact minimum
+}
+
+TEST(Metrics, HistogramSumFeedsMeanReporting) {
+  // sum() is the accessor the CLI's mean-latency line is built from:
+  // mean() == sum()/count() exactly, with no bucket quantisation.
+  MetricsRegistry reg;
+  auto& hist = reg.histogram("h");
+  hist.add(7);
+  hist.add(9);
+  hist.add(20);
+  EXPECT_EQ(hist.sum(), 36u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 12.0);
+}
+
 TEST(Metrics, HistogramQuantileClampsToObservedRange) {
   MetricsRegistry reg;
   auto& hist = reg.histogram("h");

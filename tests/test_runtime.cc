@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "model/performance.h"
+#include "model/scheduler.h"
 #include "runtime/event_queue.h"
 #include "runtime/policy.h"
 #include "runtime/workload.h"
@@ -40,6 +41,76 @@ TEST(EventQueue, PopsByCycleThenPushOrder) {
   EXPECT_EQ(q.pop().kind, EventKind::kArrival);     // cycle 5, pushed first
   EXPECT_EQ(q.pop().kind, EventKind::kQueueScan);   // cycle 5, pushed second
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TieBreakSurvivesSequenceCounterWrap) {
+  // Same-cycle ordering is (cycle, seq) with seq assigned at push. Seed
+  // the counter two below its wrap so pushes straddle it: the comparator
+  // has no wrap awareness (none is needed — 1.8e19 pushes is
+  // unreachable), so a wrapped seq of 0 pops *before* the pre-wrap
+  // pushes of the same cycle. This pins that behaviour down so any
+  // future "fix" is a deliberate, tested decision.
+  EventQueue q(~std::uint64_t{0} - 1);
+  Event a;  // seq = 2^64 - 2
+  a.cycle = 7;
+  a.dispatch_id = 1;
+  Event b;  // seq = 2^64 - 1
+  b.cycle = 7;
+  b.dispatch_id = 2;
+  Event c;  // seq wraps to 0
+  c.cycle = 7;
+  c.dispatch_id = 3;
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  EXPECT_EQ(q.pop().dispatch_id, 3u);  // wrapped seq 0 sorts first
+  EXPECT_EQ(q.pop().dispatch_id, 1u);
+  EXPECT_EQ(q.pop().dispatch_id, 2u);
+  // Away from the wrap, push order is pop order again.
+  Event d;
+  d.cycle = 7;
+  d.dispatch_id = 4;
+  Event e;
+  e.cycle = 7;
+  e.dispatch_id = 5;
+  q.push(d);
+  q.push(e);
+  EXPECT_EQ(q.pop().dispatch_id, 4u);
+  EXPECT_EQ(q.pop().dispatch_id, 5u);
+}
+
+TEST(EventQueue, InterleavedPushPopIsDeterministic) {
+  // Two identically-seeded interleavings of pushes and pops must drain
+  // in the same order — the determinism the serving runtime's replay
+  // guarantee rests on. Collisions are forced by folding cycles mod 8.
+  auto run_once = []() {
+    std::vector<std::uint64_t> order;
+    EventQueue q;
+    Xoshiro256 rng(99);
+    std::uint64_t id = 0;
+    for (int round = 0; round < 200; ++round) {
+      const unsigned pushes = 1 + static_cast<unsigned>(rng.next_below(3));
+      for (unsigned i = 0; i < pushes; ++i) {
+        Event e;
+        e.cycle = rng.next_below(8);
+        e.dispatch_id = id++;
+        q.push(e);
+      }
+      if (!q.empty() && rng.next_below(2) == 0) {
+        order.push_back(q.pop().dispatch_id);
+      }
+    }
+    while (!q.empty()) order.push_back(q.pop().dispatch_id);
+    return order;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  // Every pushed event drained exactly once.
+  std::vector<std::uint64_t> sorted = first;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
 }
 
 // -------------------------------------------------------------- Policies --
@@ -186,16 +257,11 @@ TEST(Workload, VerifyEveryMarksTheSampledSubset) {
 
 // ------------------------------------------------------------ Full runs --
 
-/// Bank-limited service capacity for one degree class, straight from the
-/// chip plan and the performance model: lanes / occupancy.
+/// Bank-limited service capacity for one degree class (model layer's
+/// degraded-chip aware helper, on this config's chip and clock).
 double class_capacity_per_s(const ServingConfig& cfg, std::uint32_t degree) {
-  const auto plan = cfg.chip.plan_for_degree(degree);
-  const auto perf = model::cryptopim_pipelined(
-      std::min(degree, cfg.chip.design_max_n));
-  const double occupancy_cycles =
-      static_cast<double>(plan.segments) * perf.slowest_stage_cycles;
-  const double cycles_per_s = 1e9 / cfg.cycle_ns;
-  return plan.superbanks * cycles_per_s / occupancy_cycles;
+  return model::class_capacity_per_s(cfg.chip, degree, /*failed_banks=*/0,
+                                     cfg.cycle_ns);
 }
 
 ServingConfig base_config(std::uint32_t degree, double duration_us) {

@@ -52,17 +52,21 @@ struct Options {
 #define CRYPTOPIM_GIT_VERSION "unknown"
 #endif
 
+void print_usage(std::ostream& os) {
+  os << "usage:\n"
+        "  cryptopim multiply --degree N [--seed S] [--fault-rate R]\n"
+        "                     [--fault-seed F] [--verify T]\n"
+        "  cryptopim report [--degree N]\n"
+        "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
+        "  cryptopim kem [--seed S]\n"
+        "  cryptopim serve [--arrival-rate R] [--policy P] [--duration US]\n"
+        "                  [--deadline US] [--chaos] [...]\n"
+        "                                  (see `cryptopim serve --help`)\n"
+        "global flags: --json, --trace=FILE, --version, --help\n";
+}
+
 int usage() {
-  std::cerr
-      << "usage:\n"
-         "  cryptopim multiply --degree N [--seed S] [--fault-rate R]\n"
-         "                     [--fault-seed F] [--verify T]\n"
-         "  cryptopim report [--degree N]\n"
-         "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
-         "  cryptopim kem [--seed S]\n"
-         "  cryptopim serve [--arrival-rate R] [--policy P] [--duration US]\n"
-         "                  [...]           (see `cryptopim serve --help`)\n"
-         "global flags: --json, --trace=FILE, --version\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -101,6 +105,31 @@ int serve_help() {
          "  --verify-every K     every Kth request carries data and its\n"
          "                       result is Freivalds-verified (default 64;\n"
          "                       0 = off)\n"
+         "\n"
+         "resilience (all off by default):\n"
+         "  --deadline US        hard per-request deadline: infeasible\n"
+         "                       arrivals are rejected at admission, queued\n"
+         "                       requests are cancelled when it passes\n"
+         "  --retries N          retry detected-bad results up to N times\n"
+         "                       with capped exponential backoff\n"
+         "  --retry-budget F     retry tokens a tenant earns per admitted\n"
+         "                       request (default 0.1); a dry bucket drops\n"
+         "                       the retry instead of amplifying\n"
+         "  --hedge              duplicate stragglers onto a second lane\n"
+         "                       (first result wins; delay = observed p99)\n"
+         "  --hedge-delay US     fixed hedge delay (implies --hedge)\n"
+         "  --codel-target US    CoDel load shedding: drop when the minimum\n"
+         "                       queue sojourn stays above this target\n"
+         "  --codel-interval US  CoDel control interval (default 100)\n"
+         "  --breaker K          per-lane circuit breaker: open after K\n"
+         "                       consecutive failures, half-open probe\n"
+         "  --wear-limit N       lane endurance budget in dispatches; the\n"
+         "                       health monitor drains and remaps worn\n"
+         "                       lanes before they corrupt traffic\n"
+         "  --chaos              seeded lane fault episodes (slowdowns and\n"
+         "                       corrupting windows) + the full mitigation\n"
+         "                       stack; individual flags still override\n"
+         "  --chaos-seed S       chaos episode RNG seed (default: --seed)\n"
          "\n"
          "global flags: --json (serving report as JSON), --trace=FILE\n";
   return 0;
@@ -204,6 +233,17 @@ double take_double(std::vector<std::string>& args, const std::string& name,
                      std::to_string(max) + "], got '" + *v + "'");
   }
   return parsed;
+}
+
+/// Removes a bare boolean `--name` from args; true when present.
+bool take_flag(std::vector<std::string>& args, const std::string& name) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == name) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 /// After a command consumed everything it understands, anything left is
@@ -505,6 +545,31 @@ int cmd_serve(const Options& opt) {
       take_u64(args, "--verify-every", 64, 0, 1u << 30));
   cfg.workload.mix =
       parse_mix(take_value(args, "--degrees").value_or("256:4,1024:2,4096:1"));
+
+  // -- resilience: --chaos selects the preset, explicit flags override --------
+  const bool chaos = take_flag(args, "--chaos");
+  const auto chaos_seed = take_u64(args, "--chaos-seed", cfg.workload.seed);
+  if (chaos) {
+    cfg.resilience = cp::runtime::ResilienceConfig::chaos_preset(chaos_seed);
+  }
+  auto& res = cfg.resilience;
+  res.deadline_us = take_double(args, "--deadline", res.deadline_us, 0.0, 1e9);
+  res.max_retries = static_cast<unsigned>(
+      take_u64(args, "--retries", res.max_retries, 0, 64));
+  res.retry_budget_ratio =
+      take_double(args, "--retry-budget", res.retry_budget_ratio, 0.0, 64.0);
+  if (take_flag(args, "--hedge")) res.hedge = true;
+  res.hedge_delay_us =
+      take_double(args, "--hedge-delay", res.hedge_delay_us, 0.0, 1e9);
+  if (res.hedge_delay_us > 0) res.hedge = true;
+  res.codel_target_us =
+      take_double(args, "--codel-target", res.codel_target_us, 0.0, 1e9);
+  res.codel_interval_us =
+      take_double(args, "--codel-interval", res.codel_interval_us, 0.001, 1e9);
+  res.breaker_k = static_cast<unsigned>(
+      take_u64(args, "--breaker", res.breaker_k, 0, 1u << 20));
+  res.wear_limit = take_u64(args, "--wear-limit", res.wear_limit);
+
   if (const int rc = reject_leftovers(args)) return rc;
   if (!cp::runtime::make_policy(cfg.policy)) {
     throw UsageError("unknown policy '" + cfg.policy + "' (expected one of: "
@@ -537,7 +602,9 @@ int cmd_serve(const Options& opt) {
               << "completed:   " << cp::fmt_i(rep.completed) << " ("
               << cp::fmt_i(static_cast<std::uint64_t>(rep.throughput_per_s))
               << " req/s)\n"
-              << "latency:     p50 " << cp::fmt_f(rep.latency_us(0.5))
+              << "latency:     mean "
+              << cp::fmt_f(rep.latency_cycles.mean() / rep.cycles_per_us)
+              << " us, p50 " << cp::fmt_f(rep.latency_us(0.5))
               << " us, p99 " << cp::fmt_f(rep.latency_us(0.99))
               << " us, p999 " << cp::fmt_f(rep.latency_us(0.999)) << " us\n"
               << "utilization: " << cp::fmt_pct(rep.utilization, 1) << "\n"
@@ -548,6 +615,27 @@ int cmd_serve(const Options& opt) {
               << " missed\n"
               << "verified:    " << cp::fmt_i(rep.verified) << " ok, "
               << cp::fmt_i(rep.verify_failures) << " failed\n";
+    if (rep.resilience_enabled) {
+      const auto& rs = rep.resilience;
+      std::cout << "resilience:  " << cp::fmt_i(rs.rejected_deadline)
+                << " rejected@deadline, " << cp::fmt_i(rs.timed_out)
+                << " timed out, " << cp::fmt_i(rs.shed) << " shed, "
+                << cp::fmt_i(rs.failed) << " failed\n"
+                << "  retries:   " << cp::fmt_i(rs.retries) << " ("
+                << cp::fmt_i(rs.retry_budget_denied) << " budget-denied)"
+                << ", hedges " << cp::fmt_i(rs.hedges) << " ("
+                << cp::fmt_i(rs.hedge_wins) << " won)\n"
+                << "  breaker:   " << cp::fmt_i(rs.breaker_opens)
+                << " opens, " << cp::fmt_i(rs.breaker_probes) << " probes, "
+                << cp::fmt_i(rs.breaker_closes) << " closes\n"
+                << "  health:    " << cp::fmt_i(rs.scrubs) << " scrubs, "
+                << cp::fmt_i(rs.proactive_remaps) << " proactive remaps, "
+                << cp::fmt_i(rs.wear_corruptions) << " wear corruptions\n"
+                << "  chaos:     " << cp::fmt_i(rs.chaos_episodes)
+                << " episodes, " << cp::fmt_i(rs.detected_corruptions)
+                << " corruptions detected, " << cp::fmt_i(rs.wrong_accepted)
+                << " wrong accepted\n";
+    }
     cp::Table t({"tenant", "weight", "admitted", "completed", "bank-cycles",
                  "p50 (cyc)", "p99 (cyc)"});
     for (const auto& [id, ts] : rep.tenants) {
@@ -559,7 +647,9 @@ int cmd_serve(const Options& opt) {
     }
     t.print(std::cout);
   }
-  return rep.verify_failures == 0 ? 0 : 1;
+  // A corrupt result delivered as good is the one unforgivable outcome.
+  return rep.verify_failures == 0 && rep.resilience.wrong_accepted == 0 ? 0
+                                                                        : 1;
 }
 
 int cmd_kem(const Options& opt) {
@@ -617,6 +707,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "--version") {
     std::cout << "cryptopim " << CRYPTOPIM_GIT_VERSION << "\n";
+    return 0;
+  }
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_usage(std::cout);
     return 0;
   }
   Options opt;

@@ -10,7 +10,9 @@
 # gitignored); the schema is documented in bench/README.md. bench_cpu_ntt
 # (google-benchmark) runs with a reduced min-time so the sweep finishes in
 # seconds; unset CRYPTOPIM_BENCH_FAST for full-length measurements.
-set -u
+# Strict mode: unset vars are errors, failures propagate through pipes,
+# and anything not explicitly tolerated (the per-bench runs below) aborts.
+set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
@@ -49,6 +51,7 @@ bench_rns_he
 bench_ablation_merged
 bench_fault_campaign
 bench_runtime_service
+bench_chaos_serving
 "
 
 failures=0
@@ -60,12 +63,14 @@ for b in $benches; do
     continue
   fi
   echo "== $b =="
+  # A failing bench is recorded, not fatal (set -e): keep running the
+  # rest of the sweep so one regression doesn't hide another.
+  rc=0
   if [ "$b" = bench_cpu_ntt ] && [ "${CRYPTOPIM_BENCH_FAST:-1}" = 1 ]; then
-    "$bin" --benchmark_min_time=0.01 > /dev/null
+    "$bin" --benchmark_min_time=0.01 > /dev/null || rc=$?
   else
-    "$bin" > /dev/null
+    "$bin" > /dev/null || rc=$?
   fi
-  rc=$?
   if [ $rc -ne 0 ]; then
     echo "run_benches: $b exited with $rc" >&2
     failures=$((failures + 1))
