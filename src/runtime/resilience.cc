@@ -99,6 +99,15 @@ bool CircuitBreaker::record(bool success, std::uint64_t now) {
   return false;
 }
 
+void CircuitBreaker::note_cancelled(std::uint64_t now) {
+  if (k_ == 0) return;
+  if (state_ == State::kHalfOpen && probe_in_flight_) {
+    probe_in_flight_ = false;
+    state_ = State::kOpen;
+    open_until_ = now + open_cycles_;
+  }
+}
+
 // -- CoDelShedder -------------------------------------------------------------
 
 std::uint64_t CoDelShedder::next_drop_interval() const {
@@ -259,8 +268,14 @@ void ResilienceStats::publish() const {
   reg.counter("cryptopim.resilience.failed", "requests").add(failed);
   reg.counter("cryptopim.resilience.hedges", "requests").add(hedges);
   reg.counter("cryptopim.resilience.hedge_wins", "requests").add(hedge_wins);
+  reg.counter("cryptopim.resilience.hedge_cancelled", "requests")
+      .add(hedge_cancelled);
   reg.counter("cryptopim.resilience.breaker_opens", "events")
       .add(breaker_opens);
+  reg.counter("cryptopim.resilience.breaker_probes", "events")
+      .add(breaker_probes);
+  reg.counter("cryptopim.resilience.breaker_closes", "events")
+      .add(breaker_closes);
   reg.counter("cryptopim.resilience.scrubs", "events").add(scrubs);
   reg.counter("cryptopim.resilience.proactive_remaps", "events")
       .add(proactive_remaps);

@@ -168,6 +168,12 @@ class CircuitBreaker {
   /// Record a request outcome. Returns true when the breaker *opened*
   /// on this failure (for stats/tracing).
   bool record(bool success, std::uint64_t now);
+  /// The in-flight dispatch was cancelled without an outcome (hedge
+  /// loser, lane teardown). If it was the half-open probe the breaker
+  /// reverts to open with a fresh window — otherwise the lane would
+  /// wedge half-open with a probe that never reports, refusing work
+  /// forever.
+  void note_cancelled(std::uint64_t now);
 
   State state() const noexcept { return state_; }
   unsigned consecutive_failures() const noexcept { return failures_; }

@@ -113,6 +113,9 @@ obs::Json ServingReport::to_json() const {
     tj.set("submitted", t.submitted);
     tj.set("admitted", t.admitted);
     tj.set("rejected", t.rejected);
+    // Gated like the top-level resilience section: a resilience-off
+    // report keeps the pre-resilience schema byte-for-byte.
+    if (resilience_enabled) tj.set("rejected_deadline", t.rejected_deadline);
     tj.set("completed", t.completed);
     tj.set("deadline_misses", t.deadline_misses);
     tj.set("bank_cycles", t.bank_cycles);
@@ -152,6 +155,7 @@ struct ServingRuntime::InFlight {
   std::size_t lane = 0;
   std::uint64_t dispatched_at = 0;
   bool corrupt = false;      ///< dispatched into a corrupting window
+  bool is_probe = false;     ///< the lane breaker's half-open probe
   bool is_hedge = false;     ///< the duplicate of a hedged pair
   std::uint64_t hedge_partner = 0;  ///< other dispatch id, 0 = unhedged
 };
@@ -365,7 +369,7 @@ void ServingRuntime::handle_arrival(const Event& e) {
         backlog * g.occupancy() / std::max(1u, lanes_alive);
     if (now_ + wait + g.service() > r.deadline_cycle) {
       report_.resilience.rejected_deadline += 1;
-      ts.rejected += 1;
+      ts.rejected_deadline += 1;
       return;
     }
   }
@@ -515,8 +519,10 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   const std::uint64_t t0 = now_;
   const std::size_t lane_idx = static_cast<std::size_t>(&lane - lanes_.data());
   std::uint64_t service = g.service();
+  bool is_probe = false;
   if (resilience_on_) {
-    if (lane.breaker.note_dispatch(t0)) report_.resilience.breaker_probes += 1;
+    is_probe = lane.breaker.note_dispatch(t0);
+    if (is_probe) report_.resilience.breaker_probes += 1;
     if (health_ && health_->note_dispatch(lane_idx)) {
       // The lane crossed its wear limit on this very write: it corrupts
       // from here on and only a remap onto fresh banks clears it. This
@@ -547,6 +553,7 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   inf.request = std::move(r);
   inf.lane = lane_idx;
   inf.dispatched_at = t0;
+  inf.is_probe = is_probe;
   if (resilience_on_) inf.corrupt = chaos_corrupting(lane, t0);
   in_flight_.emplace(id, std::move(inf));
 
@@ -669,6 +676,13 @@ void ServingRuntime::handle_bank_failure(const Event&) {
   // delivers), and teardown retries flow through the backoff + budget
   // path so repeated failures cannot amplify into a storm.
   auto requeue_victim = [this](const InFlight& inf) {
+    if (resilience_on_ && inf.is_probe) {
+      // The teardown cancels the breaker's half-open probe with no
+      // outcome; reset it or the lane (which may re-form on a spare)
+      // wedges half-open, refusing work forever. The later try_dispatch
+      // arms the open-period wake-up via acquire_lane.
+      lanes_[inf.lane].breaker.note_cancelled(now_);
+    }
     if (resilience_on_ && inf.hedge_partner != 0 &&
         in_flight_.count(inf.hedge_partner) != 0) {
       return;
@@ -817,7 +831,8 @@ void ServingRuntime::handle_hedge(const Event& e) {
 
   const LaneGeometry g = geometry_for(cfg_.chip, orig.degree);
   std::uint64_t service = g.service();
-  if (lane->breaker.note_dispatch(now_)) report_.resilience.breaker_probes += 1;
+  const bool is_probe = lane->breaker.note_dispatch(now_);
+  if (is_probe) report_.resilience.breaker_probes += 1;
   if (health_ && health_->note_dispatch(lane_idx)) {
     lane->corrupt_until = kForever;
     lane->draining = true;
@@ -841,6 +856,7 @@ void ServingRuntime::handle_hedge(const Event& e) {
   dup.lane = lane_idx;
   dup.dispatched_at = now_;
   dup.corrupt = chaos_corrupting(*lane, now_);
+  dup.is_probe = is_probe;
   dup.is_hedge = true;
   dup.hedge_partner = e.dispatch_id;
   in_flight_.emplace(id, std::move(dup));
@@ -880,8 +896,19 @@ void ServingRuntime::handle_health(const Event&) {
     }
   }
   // Keep ticking while the simulation is live; stop once arrivals are
-  // done and the pipes have drained so the event loop can terminate.
-  if (now_ < horizon_ || !pending_.empty() || !in_flight_.empty()) {
+  // done and the pipes have drained so the event loop can terminate. A
+  // backlog alone is not liveness: requests stranded by degradation
+  // (their class's footprint exceeds the surviving banks) can never
+  // dispatch, and ticking for them would spin forever — run() surfaces
+  // them as `queued` instead.
+  bool pending_servable = false;
+  for (const Request& r : pending_) {
+    if (geometry_for(cfg_.chip, r.degree).banks <= usable_banks()) {
+      pending_servable = true;
+      break;
+    }
+  }
+  if (now_ < horizon_ || !in_flight_.empty() || pending_servable) {
     arm_health_tick(cfg_.resilience.health_period_cycles);
   }
 }
@@ -959,8 +986,17 @@ void ServingRuntime::cancel_in_flight(std::uint64_t dispatch_id) {
   Lane& lane = lanes_[it->second.lane];
   lane.in_flight -= 1;
   const std::size_t lane_idx = it->second.lane;
+  const bool was_probe = it->second.is_probe;
   in_flight_.erase(it);  // its kCompletion event will find nothing
   report_.resilience.hedge_cancelled += 1;
+  if (was_probe) {
+    // A cancelled half-open probe reports no outcome; without this the
+    // breaker waits for it forever and the lane never accepts again.
+    lane.breaker.note_cancelled(now_);
+    if (!lane.breaker.can_accept(now_)) {
+      schedule_scan(lane.breaker.open_until());
+    }
+  }
   if (lane.draining && lane.in_flight == 0) {
     remap_drained_lane(lane, lane_idx);
   }
@@ -1026,7 +1062,10 @@ void ServingRuntime::arm_health_tick(std::uint64_t delay) {
   if (health_tick_armed_) return;
   health_tick_armed_ = true;
   Event e;
-  e.cycle = now_ + delay;
+  // A zero period would pop and re-arm in an infinite same-cycle loop
+  // (the livelock schedule_scan guards against); tick next cycle at the
+  // earliest.
+  e.cycle = now_ + std::max<std::uint64_t>(delay, 1);
   e.kind = EventKind::kHealth;
   events_.push(std::move(e));
 }

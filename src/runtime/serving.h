@@ -113,6 +113,9 @@ struct TenantStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
+  /// Deadline-infeasible at admission; kept apart from `rejected` so the
+  /// global counters still sum per-tenant ones field-for-field.
+  std::uint64_t rejected_deadline = 0;
   std::uint64_t completed = 0;
   std::uint64_t deadline_misses = 0;
   /// Bank-cycles consumed: lane banks x occupancy beats per request.

@@ -39,6 +39,16 @@ void expect_resilient_work_conserved(const ServingReport& r) {
                              r.resilience.rejected_deadline);
   EXPECT_EQ(r.admitted, r.completed + r.queued + r.resilience.timed_out +
                             r.resilience.shed + r.resilience.failed);
+  // Global counters sum the per-tenant ledgers field-for-field: deadline
+  // rejects live in their own tenant column, not in `rejected`.
+  std::uint64_t tenant_rejected = 0;
+  std::uint64_t tenant_rejected_deadline = 0;
+  for (const auto& [id, t] : r.tenants) {
+    tenant_rejected += t.rejected;
+    tenant_rejected_deadline += t.rejected_deadline;
+  }
+  EXPECT_EQ(tenant_rejected, r.rejected + r.rejected_unservable);
+  EXPECT_EQ(tenant_rejected_deadline, r.resilience.rejected_deadline);
 }
 
 std::string json_text(const ServingReport& r) {
@@ -114,6 +124,28 @@ TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
   EXPECT_TRUE(cb.record(false, 130));  // probe failed: re-opened
   EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
   EXPECT_EQ(cb.open_until(), 230u);
+}
+
+TEST(CircuitBreaker, CancelledProbeRevertsToOpenInsteadOfWedging) {
+  CircuitBreaker cb(2, 100);
+  cb.record(false, 0);
+  cb.record(false, 0);  // open until 100
+  cb.note_dispatch(100);
+  EXPECT_FALSE(cb.can_accept(110));  // probe out
+  // The probe is cancelled without an outcome (hedge loser, lane
+  // teardown): the breaker must re-open with a fresh window — a probe
+  // that never reports would otherwise wedge the lane half-open forever.
+  cb.note_cancelled(110);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(cb.open_until(), 210u);
+  EXPECT_FALSE(cb.can_accept(209));
+  EXPECT_TRUE(cb.can_accept(210));  // probes again after the fresh window
+  // Cancelling when no probe is in flight is a no-op.
+  cb.note_dispatch(210);
+  cb.record(true, 220);
+  cb.note_cancelled(230);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.can_accept(231));
 }
 
 TEST(CircuitBreaker, DisabledAlwaysAccepts) {
@@ -334,6 +366,28 @@ TEST(ResilientServing, DisablingTheDrainLetsLanesWearOut) {
   EXPECT_GT(r.resilience.wear_corruptions, 0u);
   EXPECT_GT(r.resilience.detected_corruptions, 0u);
   EXPECT_EQ(r.resilience.wrong_accepted, 0u);  // checks still catch all
+  expect_resilient_work_conserved(r);
+}
+
+TEST(ResilientServing, HealthTickStopsWhenBacklogIsStranded) {
+  // Losing 9 banks (one past the spare pool) drops the chip below the
+  // 32k class's 128-bank footprint: the stranded backlog is a terminal
+  // state surfaced as `queued`. With the health monitor live, its tick
+  // must detect no-progress and stop re-arming — this test returning at
+  // all is the assertion (an unfixed tick loops forever).
+  ServingConfig cfg;
+  cfg.workload.mix = {{32768, 1.0}};
+  cfg.workload.seed = 11;
+  cfg.arrival_rate_per_s =
+      2.0 * model::class_capacity_per_s(cfg.chip, 32768, 0, cfg.cycle_ns);
+  cfg.duration_us = 1500.0;
+  cfg.fail_bank_at_us = 1200.0;
+  cfg.fail_banks = 9;
+  cfg.resilience.wear_limit = 1u << 20;  // monitor on; wear never trips
+  const auto r = ServingRuntime(cfg).run();
+  EXPECT_EQ(r.bank_failures, 9u);
+  EXPECT_GT(r.completed, 0u);  // pre-failure work still finished
+  EXPECT_GT(r.queued, 0u);     // stranded backlog surfaced, not spun on
   expect_resilient_work_conserved(r);
 }
 
