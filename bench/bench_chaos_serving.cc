@@ -68,6 +68,8 @@ int main() {
 
   cp::Table t({"mix", "mode", "completed", "rejected", "retries", "hedge win",
                "brk open", "corrupt", "wrong", "p99 us"});
+  cp::Table slo_t({"mix", "mode", "availability", "err budget", "max win burn",
+                   "lat viol"});
   bool ok = true;
   std::vector<std::string> violations;
 
@@ -78,6 +80,10 @@ int main() {
       cfg.resilience = cp::runtime::ResilienceConfig::chaos_preset(kSeed);
       if (mode == "baseline") cfg.resilience.chaos.enabled = false;
       if (mode == "chaos-raw") cfg.resilience.chaos_detect = false;
+      // SLO accounting: 99.9% availability, 99% of completions within
+      // 500 us. The per-window burn shows *when* chaos ate the budget.
+      cfg.slo.availability = 0.999;
+      cfg.slo.latency_us = 500.0;
       const auto r = cp::runtime::ServingRuntime(cfg).run();
       const auto& res = r.resilience;
 
@@ -106,6 +112,12 @@ int main() {
               static_cast<double>(res.detected_corruptions), "results", p);
       rep.add("wrong_accepted", static_cast<double>(res.wrong_accepted),
               "results", p);
+      rep.add("slo_availability", r.slo.availability(), "ratio", p);
+      rep.add("slo_error_budget_consumed", r.slo.error_budget_consumed(),
+              "ratio", p);
+      rep.add("slo_max_window_burn", r.slo.max_window_burn(), "x", p);
+      rep.add("slo_latency_violations",
+              static_cast<double>(r.slo.latency_violations()), "requests", p);
 
       t.add_row({label, mode, cp::fmt_i(r.completed),
                  cp::fmt_i(r.rejected + r.rejected_unservable +
@@ -114,6 +126,10 @@ int main() {
                  cp::fmt_i(res.breaker_opens),
                  cp::fmt_i(res.detected_corruptions),
                  cp::fmt_i(res.wrong_accepted), cp::fmt_f(p99, 1)});
+      slo_t.add_row({label, mode, cp::fmt_pct(r.slo.availability(), 3),
+                     cp::fmt_pct(r.slo.error_budget_consumed(), 1),
+                     cp::fmt_f(r.slo.max_window_burn(), 1) + "x",
+                     cp::fmt_i(r.slo.latency_violations())});
 
       if (mode != "chaos") continue;
       // Acceptance bar: only the full chaos+resilience cell is gated.
@@ -138,6 +154,10 @@ int main() {
     }
   }
   t.print(std::cout);
+  std::cout << "\nSLO accounting (objective: 99.9% availability, 99% of\n"
+               "completions within 500 us; burn = window error rate over\n"
+               "the allowed rate):\n";
+  slo_t.print(std::cout);
 
   std::cout << "\nChaos slows lanes 4x and corrupts completions in seeded\n"
                "windows; breakers take poisoned lanes out, retries and\n"

@@ -1,0 +1,31 @@
+#include "obs/event_log.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cryptopim::obs {
+
+void EventLog::log(Json record) {
+  if (!enabled_) return;
+  records_.push_back(std::move(record));
+}
+
+std::string EventLog::to_jsonl() const {
+  std::ostringstream os;
+  Json header = Json::object();
+  header.set("schema", "serve-events/1");
+  header.set("records", static_cast<std::uint64_t>(records_.size()));
+  os << header.dump() << '\n';
+  for (const Json& r : records_) os << r.dump() << '\n';
+  return os.str();
+}
+
+void EventLog::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("event log: cannot open " + path);
+  os << to_jsonl();
+  if (!os) throw std::runtime_error("event log: write failed: " + path);
+}
+
+}  // namespace cryptopim::obs

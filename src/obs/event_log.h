@@ -1,0 +1,48 @@
+// Structured request-lifecycle event log.
+//
+// The serving runtime emits one record per lifecycle transition
+// (admitted, dispatched, retry, hedge, completed, ...) as an obs::Json
+// object. The log buffers records in arrival order and serializes them
+// as JSON Lines: one compact JSON object per line, preceded by a header
+// line {"schema":"serve-events/1",...}. JSONL keeps the file greppable
+// and streamable — consumers never need the whole log in memory.
+//
+// Like the Tracer, the log is disabled by default so the emit sites can
+// stay unconditional in the runtime; a disabled log drops records at
+// the door. Determinism: records carry only event-clock cycles and
+// stable ids, so the same seed + config yields byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cryptopim::obs {
+
+class EventLog {
+ public:
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Drops all buffered records (keeps the enabled flag).
+  void clear() { records_.clear(); }
+
+  /// Appends one record. No-op when disabled.
+  void log(Json record);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<Json>& records() const noexcept { return records_; }
+
+  /// Header line followed by one compact JSON object per record.
+  std::string to_jsonl() const;
+  /// Writes to_jsonl() to `path`; throws std::runtime_error on I/O error.
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Json> records_;
+};
+
+}  // namespace cryptopim::obs

@@ -40,6 +40,10 @@ class Histogram {
   static constexpr unsigned kBuckets = 65;
 
   void add(std::uint64_t v) noexcept;
+  /// Fold another histogram into this one (bucket-wise sum; min/max/sum
+  /// combine exactly). Used by the windowed-series ring when old windows
+  /// are evicted into the cumulative aggregate.
+  void merge(const Histogram& other) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
   std::uint64_t sum() const noexcept { return sum_; }

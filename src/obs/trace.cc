@@ -36,6 +36,19 @@ void Tracer::emit(std::uint32_t track, std::string name, std::string cat,
       TraceEvent{std::move(name), std::move(cat), track, begin, dur});
 }
 
+void Tracer::flow(char phase, std::uint64_t id, std::uint32_t track,
+                  std::string name, std::string cat, std::uint64_t cycle) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.track = track;
+  e.begin = cycle;
+  e.ph = phase;
+  e.flow_id = id;
+  events_.push_back(std::move(e));
+}
+
 void Tracer::set_track_name(std::uint32_t track, std::string name) {
   if (!enabled_) return;
   track_names_[track] = std::move(name);
@@ -77,9 +90,16 @@ Json Tracer::chrome_trace() const {
     Json j = Json::object();
     j.set("name", e.name);
     j.set("cat", e.cat);
-    j.set("ph", "X");
+    j.set("ph", std::string(1, e.ph));
     j.set("ts", e.begin);
-    j.set("dur", e.dur);
+    if (e.ph == 'X') {
+      j.set("dur", e.dur);
+    } else {
+      // Flow arrow point: "id" joins the chain; step/end points bind to
+      // the enclosing slice ("bp":"e") so arrows land on the spans.
+      j.set("id", e.flow_id);
+      if (e.ph != 's') j.set("bp", "e");
+    }
     j.set("pid", 0);
     j.set("tid", std::uint64_t{e.track});
     events.push_back(std::move(j));

@@ -32,13 +32,19 @@ namespace cryptopim::obs {
 
 class Json;
 
-/// One completed span, in cycle time.
+/// One completed span, in cycle time. `ph` distinguishes complete spans
+/// ('X', the default) from flow arrows ('s' start, 't' step, 'f' end)
+/// that draw causal links between spans on different tracks — e.g. a
+/// request's admission on its tenant lane to the retry it spawned on
+/// another lane. Flow events with the same `flow_id` form one chain.
 struct TraceEvent {
   std::string name;
   std::string cat;        ///< "stage", "circuit", "reduce", "transfer", ...
   std::uint32_t track = 0;
   std::uint64_t begin = 0;  ///< cycles
   std::uint64_t dur = 0;    ///< cycles
+  char ph = 'X';
+  std::uint64_t flow_id = 0;
 };
 
 /// Append-only event recorder. Not thread-safe (the simulators are
@@ -63,6 +69,13 @@ class Tracer {
   /// Records a complete span directly (no nesting bookkeeping).
   void emit(std::uint32_t track, std::string name, std::string cat,
             std::uint64_t begin, std::uint64_t dur);
+
+  /// Records a flow-arrow point: `phase` is 's' (start), 't' (step) or
+  /// 'f' (end); all points sharing `id` are connected in the viewer.
+  /// Place each point inside (track, cycle) of the span it anchors to —
+  /// step/end points bind to the enclosing slice.
+  void flow(char phase, std::uint64_t id, std::uint32_t track,
+            std::string name, std::string cat, std::uint64_t cycle);
 
   /// Human-readable track label in the viewer.
   void set_track_name(std::uint32_t track, std::string name);

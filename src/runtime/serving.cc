@@ -63,9 +63,43 @@ double ServingReport::latency_us(double quantile) const {
          cycles_per_us;
 }
 
+namespace {
+
+/// Derived per-window rates: the rolling throughput / latency / shed /
+/// retry series the windowed counters exist to support. Rates are per
+/// second of simulated time; ratios are against the window's submitted.
+obs::Json rolling_rates(const obs::WindowedSeries& series, double cycle_ns) {
+  obs::Json rows = obs::Json::array();
+  const double window_s =
+      static_cast<double>(series.window_cycles()) * cycle_ns * 1e-9;
+  for (std::size_t w = 0; w < series.window_count(); ++w) {
+    obs::Json row = obs::Json::object();
+    row.set("start", series.window_start(w));
+    const std::uint64_t completed = series.counter_at(w, "completed");
+    const std::uint64_t submitted = series.counter_at(w, "submitted");
+    row.set("throughput_per_s",
+            window_s > 0 ? static_cast<double>(completed) / window_s : 0.0);
+    if (const obs::Histogram* lat = series.histogram_at(w, "latency_cycles")) {
+      row.set("p50_latency_us",
+              static_cast<double>(lat->quantile(0.50)) * cycle_ns * 1e-3);
+      row.set("p99_latency_us",
+              static_cast<double>(lat->quantile(0.99)) * cycle_ns * 1e-3);
+    }
+    const double denom = submitted ? static_cast<double>(submitted) : 1.0;
+    row.set("shed_rate",
+            static_cast<double>(series.counter_at(w, "shed")) / denom);
+    row.set("retry_rate",
+            static_cast<double>(series.counter_at(w, "retries")) / denom);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
 obs::Json ServingReport::to_json() const {
   obs::Json j = obs::Json::object();
-  j.set("schema", "serving/1");
+  j.set("schema", "serving/2");
   j.set("policy", policy);
   j.set("duration_cycles", duration_cycles);
   j.set("drain_cycle", drain_cycle);
@@ -125,6 +159,11 @@ obs::Json ServingReport::to_json() const {
     ts.push_back(std::move(tj));
   }
   j.set("tenants", std::move(ts));
+  if (series.enabled()) {
+    j.set("series", series.to_json());
+    j.set("rolling", rolling_rates(series, 1e3 / cycles_per_us));
+  }
+  if (slo.enabled()) j.set("slo", slo.to_json());
   return j;
 }
 
@@ -202,6 +241,16 @@ ServingReport ServingRuntime::run() {
   report_.policy = cfg_.policy;
   report_.duration_cycles = horizon;
   report_.cycles_per_us = cyc_per_us;
+
+  // Auto window width: ~64 windows across the arrival horizon, never
+  // finer than 1024 cycles. Pure integer arithmetic — deterministic.
+  const std::uint64_t window =
+      cfg_.window_cycles > 0
+          ? cfg_.window_cycles
+          : std::max<std::uint64_t>(1024, horizon / 64);
+  report_.series = obs::WindowedSeries(window);
+  report_.slo = obs::SloAccountant(cfg_.slo, window, cyc_per_us);
+  if (event_log_) event_log_->clear();
 
   resilience_on_ = cfg_.resilience.enabled();
   report_.resilience_enabled = resilience_on_;
@@ -309,12 +358,28 @@ ServingReport ServingRuntime::run() {
   return report_;
 }
 
+obs::Json ServingRuntime::ev_base(const char* name, const Request& r) const {
+  obs::Json rec = obs::Json::object();
+  rec.set("ev", name);
+  rec.set("cycle", now_);
+  rec.set("trace", r.id);
+  rec.set("tenant", std::uint64_t{r.tenant});
+  return rec;
+}
+
+void ServingRuntime::record_bad_outcome(const char* counter) {
+  report_.series.count(counter, now_);
+  report_.slo.record_bad(now_);
+}
+
 void ServingRuntime::handle_arrival(const Event& e) {
   Request r = e.request;
   report_.submitted += 1;
   TenantStats& ts = report_.tenants.at(r.tenant);
   ts.submitted += 1;
   report_.queue_depth.add(pending_.size());
+  report_.series.count("submitted", now_);
+  report_.series.observe("queue_depth", now_, pending_.size());
   obs::metrics()
       .histogram("cryptopim.runtime.queue_depth", "requests")
       .add(pending_.size());
@@ -334,11 +399,23 @@ void ServingRuntime::handle_arrival(const Event& e) {
   if (g.banks > usable_banks()) {
     report_.rejected_unservable += 1;
     ts.rejected += 1;
+    record_bad_outcome("rejected");
+    if (elog_on()) {
+      obs::Json rec = ev_base("rejected", r);
+      rec.set("reason", "unservable");
+      event_log_->log(std::move(rec));
+    }
     return;
   }
   if (pending_.size() >= cfg_.queue_capacity) {
     report_.rejected += 1;
     ts.rejected += 1;
+    record_bad_outcome("rejected");
+    if (elog_on()) {
+      obs::Json rec = ev_base("rejected", r);
+      rec.set("reason", "queue_full");
+      event_log_->log(std::move(rec));
+    }
     return;
   }
   r.service_cycles = g.service();
@@ -370,11 +447,24 @@ void ServingRuntime::handle_arrival(const Event& e) {
     if (now_ + wait + g.service() > r.deadline_cycle) {
       report_.resilience.rejected_deadline += 1;
       ts.rejected_deadline += 1;
+      record_bad_outcome("rejected");
+      if (elog_on()) {
+        obs::Json rec = ev_base("rejected", r);
+        rec.set("reason", "deadline_infeasible");
+        event_log_->log(std::move(rec));
+      }
       return;
     }
   }
   report_.admitted += 1;
   ts.admitted += 1;
+  report_.series.count("admitted", now_);
+  if (elog_on()) {
+    obs::Json rec = ev_base("admitted", r);
+    rec.set("degree", std::uint64_t{r.degree});
+    if (r.deadline_cycle > 0) rec.set("deadline", r.deadline_cycle);
+    event_log_->log(std::move(rec));
+  }
   if (retry_budget_) retry_budget_->on_admitted(r.tenant);
   if (hard_deadline) {
     Event te;
@@ -416,6 +506,12 @@ void ServingRuntime::try_dispatch() {
         Request dropped = std::move(pending_[idx]);
         pending_.erase(pending_.begin() + static_cast<long>(idx));
         report_.resilience.shed += 1;
+        record_bad_outcome("shed");
+        if (elog_on()) {
+          obs::Json rec = ev_base("shed", dropped);
+          rec.set("sojourn", sojourn);
+          event_log_->log(std::move(rec));
+        }
         notify_request_gone(dropped);
         continue;
       }
@@ -482,6 +578,7 @@ ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
   }
   allocated_banks_ += g.banks;
   report_.repartitions += 1;
+  report_.series.count("repartitions", now_);
   auto& tr = obs::tracer();
   if (tr.enabled()) {
     tr.set_track_name(lane.track, "runtime lane " +
@@ -489,6 +586,15 @@ ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
                                       std::to_string(degree) + ")");
     tr.emit(kRuntimeTrackBase, "repartition n=" + std::to_string(degree),
             "runtime", now_, cfg_.repartition_cycles);
+  }
+  if (elog_on()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("ev", "carve");
+    rec.set("cycle", now_);
+    rec.set("lane", std::uint64_t{lanes_.size()});
+    rec.set("degree", std::uint64_t{degree});
+    rec.set("ready", lane.free_at);
+    event_log_->log(std::move(rec));
   }
   lanes_.push_back(lane);
   return &lanes_.back();
@@ -549,6 +655,24 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   tenant_usage_[r.tenant] += static_cast<double>(bank_cycles) / ts.weight;
 
   const std::uint64_t id = next_dispatch_id_++;
+  report_.series.count("dispatched", t0);
+  report_.series.observe("queue_wait_cycles", t0, t0 - r.arrival_cycle);
+  if (elog_on()) {
+    obs::Json rec = ev_base("dispatched", r);
+    rec.set("dispatch", id);
+    rec.set("lane", std::uint64_t{lane_idx});
+    rec.set("wait", t0 - r.arrival_cycle);
+    if (r.attempts > 0) rec.set("attempt", std::uint64_t{r.attempts});
+    if (is_probe) rec.set("probe", true);
+    event_log_->log(std::move(rec));
+  }
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    // Flow chain anchor: first dispatch starts the request's arrow
+    // chain, re-dispatches (retries) continue it.
+    tr.flow(r.attempts == 0 ? 's' : 't', r.id, lane.track,
+            "req " + std::to_string(r.id), "flow", t0);
+  }
   InFlight inf;
   inf.request = std::move(r);
   inf.lane = lane_idx;
@@ -600,12 +724,20 @@ void ServingRuntime::handle_completion(const Event& e) {
       // The layered checks of the reliability stack (write-verify,
       // parity, Freivalds) catch the corrupt result; never delivered.
       report_.resilience.detected_corruptions += 1;
+      if (elog_on()) {
+        obs::Json rec = ev_base("corruption_detected", r);
+        rec.set("dispatch", e.dispatch_id);
+        rec.set("lane", std::uint64_t{inf.lane});
+        event_log_->log(std::move(rec));
+      }
       record_lane_outcome(lane, inf.lane, false);
       if (lane.draining && lane.in_flight == 0) {
         remap_drained_lane(lane, inf.lane);
       }
       if (!schedule_retry(r, /*count_as_bank_retry=*/false)) {
         report_.resilience.failed += 1;
+        record_bad_outcome("failed");
+        if (elog_on()) event_log_->log(ev_base("failed", r));
         notify_request_gone(r);
       }
       try_dispatch();
@@ -622,6 +754,9 @@ void ServingRuntime::handle_completion(const Event& e) {
   const std::uint64_t latency = now_ - r.arrival_cycle;
   report_.completed += 1;
   report_.latency_cycles.add(latency);
+  report_.series.count("completed", now_);
+  report_.series.observe("latency_cycles", now_, latency);
+  report_.slo.record_good(now_, latency);
   obs::metrics()
       .histogram("cryptopim.runtime.latency_cycles", "cycles")
       .add(latency);
@@ -632,11 +767,22 @@ void ServingRuntime::handle_completion(const Event& e) {
     report_.deadline_misses += 1;
     ts.deadline_misses += 1;
   }
+  if (elog_on()) {
+    obs::Json rec = ev_base("completed", r);
+    rec.set("dispatch", e.dispatch_id);
+    rec.set("lane", std::uint64_t{inf.lane});
+    rec.set("latency", latency);
+    if (inf.is_hedge) rec.set("hedge", true);
+    event_log_->log(std::move(rec));
+  }
   auto& tr = obs::tracer();
   if (tr.enabled()) {
     tr.emit(lanes_[inf.lane].track,
             "req " + std::to_string(r.id) + " t" + std::to_string(r.tenant),
             "runtime", inf.dispatched_at, now_ - inf.dispatched_at);
+    // Terminal point of the request's flow-arrow chain.
+    tr.flow('f', r.id, lanes_[inf.lane].track, "req " + std::to_string(r.id),
+            "flow", now_);
   }
   if (r.verify) verify_result(r);
 
@@ -657,6 +803,14 @@ void ServingRuntime::handle_completion(const Event& e) {
 void ServingRuntime::handle_bank_failure(const Event&) {
   report_.bank_failures += cfg_.fail_banks;
   failed_banks_ += cfg_.fail_banks;
+  report_.series.count("bank_failures", now_, cfg_.fail_banks);
+  if (elog_on()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("ev", "bank_failure");
+    rec.set("cycle", now_);
+    rec.set("banks", std::uint64_t{cfg_.fail_banks});
+    event_log_->log(std::move(rec));
+  }
 
   // Deterministic victim: the failure strikes the busiest live lane (most
   // in-flight work, lowest index on ties) — its in-flight requests retry
@@ -676,6 +830,11 @@ void ServingRuntime::handle_bank_failure(const Event&) {
   // delivers), and teardown retries flow through the backoff + budget
   // path so repeated failures cannot amplify into a storm.
   auto requeue_victim = [this](const InFlight& inf) {
+    if (elog_on()) {
+      obs::Json rec = ev_base("torn_down", inf.request);
+      rec.set("lane", std::uint64_t{inf.lane});
+      event_log_->log(std::move(rec));
+    }
     if (resilience_on_ && inf.is_probe) {
       // The teardown cancels the breaker's half-open probe with no
       // outcome; reset it or the lane (which may re-form on a spare)
@@ -690,12 +849,15 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     if (resilience_on_ && cfg_.resilience.max_retries > 0) {
       if (!schedule_retry(inf.request, /*count_as_bank_retry=*/true)) {
         report_.resilience.failed += 1;
+        record_bad_outcome("failed");
+        if (elog_on()) event_log_->log(ev_base("failed", inf.request));
         notify_request_gone(inf.request);
       }
       return;
     }
     pending_.push_back(inf.request);
     report_.retried += 1;
+    report_.series.count("retries", now_);
   };
 
   Lane* victim = pick_victim();
@@ -803,6 +965,8 @@ void ServingRuntime::handle_timeout(const Event& e) {
     const Request r = std::move(*it);
     pending_.erase(it);
     report_.resilience.timed_out += 1;
+    record_bad_outcome("timed_out");
+    if (elog_on()) event_log_->log(ev_base("timed_out", r));
     notify_request_gone(r);
     return;
   }
@@ -862,6 +1026,21 @@ void ServingRuntime::handle_hedge(const Event& e) {
   in_flight_.emplace(id, std::move(dup));
   it->second.hedge_partner = id;
   report_.resilience.hedges += 1;
+  report_.series.count("hedges", now_);
+  if (elog_on()) {
+    obs::Json rec = ev_base("hedge", orig);
+    rec.set("dispatch", id);
+    rec.set("parent", e.dispatch_id);
+    rec.set("lane", std::uint64_t{lane_idx});
+    if (is_probe) rec.set("probe", true);
+    event_log_->log(std::move(rec));
+  }
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    // The duplicate continues the request's flow chain on its own lane.
+    tr.flow('t', orig.id, lane->track, "req " + std::to_string(orig.id),
+            "flow", now_);
+  }
 
   Event ce;
   ce.cycle = now_ + service;
@@ -955,7 +1134,14 @@ bool ServingRuntime::schedule_retry(Request r, bool count_as_bank_retry) {
   }
   r.attempts += 1;
   report_.resilience.retries += 1;
+  report_.series.count("retries", now_);
   if (count_as_bank_retry) report_.retried += 1;
+  if (elog_on()) {
+    obs::Json rec = ev_base("retry", r);
+    rec.set("attempt", std::uint64_t{r.attempts});
+    rec.set("backoff", backoff);
+    event_log_->log(std::move(rec));
+  }
   Event e;
   e.cycle = now_ + backoff;
   e.kind = EventKind::kRetryEnqueue;
@@ -987,6 +1173,12 @@ void ServingRuntime::cancel_in_flight(std::uint64_t dispatch_id) {
   lane.in_flight -= 1;
   const std::size_t lane_idx = it->second.lane;
   const bool was_probe = it->second.is_probe;
+  if (elog_on()) {
+    obs::Json rec = ev_base("cancelled", it->second.request);
+    rec.set("dispatch", dispatch_id);
+    rec.set("lane", std::uint64_t{lane_idx});
+    event_log_->log(std::move(rec));
+  }
   in_flight_.erase(it);  // its kCompletion event will find nothing
   report_.resilience.hedge_cancelled += 1;
   if (was_probe) {

@@ -53,8 +53,11 @@
 #include <vector>
 
 #include "arch/chip.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "runtime/event_queue.h"
 #include "runtime/policy.h"
 #include "runtime/request.h"
@@ -101,6 +104,13 @@ struct ServingConfig {
 
   // -- resilience (all features default off; see runtime/resilience.h) --------
   ResilienceConfig resilience;
+
+  // -- observability -----------------------------------------------------------
+  /// Width of the rolling telemetry windows in cycles; 0 = auto
+  /// (max(1024, arrival horizon / 64), so every run gets ~64 windows).
+  std::uint64_t window_cycles = 0;
+  /// SLO objectives (availability + latency); off by default.
+  obs::SloConfig slo;
 
   /// Crossbar cycle time (defaults to the paper's 1.1 ns device).
   double cycle_ns = 1.1;
@@ -162,11 +172,19 @@ struct ServingReport {
   obs::Histogram queue_depth;      ///< sampled at every arrival
   std::map<std::uint32_t, TenantStats> tenants;
 
+  /// Windowed telemetry: per-window counters (submitted / completed /
+  /// shed / retries / ...) and latency histograms on the cycle axis.
+  obs::WindowedSeries series;
+  /// SLO accounting; serialized only when objectives were configured.
+  obs::SloAccountant slo;
+
   double cycles_per_us = 1.0;
   double latency_us(double quantile) const;
 
-  /// Deterministic JSON document (schema "serving/1"): totals, derived
-  /// rates, per-tenant stats with p50/p99/p999 latency.
+  /// Deterministic JSON document (schema "serving/2"): totals, derived
+  /// rates, per-tenant stats with p50/p99/p999 latency, the windowed
+  /// "series" section with derived "rolling" rates, and — when
+  /// objectives were set — the "slo" error-budget section.
   obs::Json to_json() const;
 };
 
@@ -179,6 +197,12 @@ class ServingRuntime {
   ServingRuntime& operator=(const ServingRuntime&) = delete;
 
   const ServingConfig& config() const noexcept { return cfg_; }
+
+  /// Attach a lifecycle event log (not owned; may be null). When the log
+  /// is enabled, every request emits causally-linked records — admitted,
+  /// dispatched, retry, hedge, completed, ... — keyed by a trace id (the
+  /// request id, shared across its retries and hedges).
+  void set_event_log(obs::EventLog* log) noexcept { event_log_ = log; }
 
   /// Run the full simulation: prime arrivals, loop the event queue to
   /// empty (arrival horizon + drain), return the sealed report.
@@ -213,6 +237,18 @@ class ServingRuntime {
   unsigned usable_banks() const noexcept;
   void schedule_scan(std::uint64_t cycle);
   void publish_metrics() const;
+
+  // -- observability -----------------------------------------------------------
+  bool elog_on() const noexcept {
+    return event_log_ != nullptr && event_log_->enabled();
+  }
+  /// A lifecycle record skeleton: {"ev":name,"cycle":now,"trace":r.id,
+  /// "tenant":r.tenant}. Callers add event-specific fields and hand it
+  /// to event_log_->log().
+  obs::Json ev_base(const char* name, const Request& r) const;
+  /// Terminal-outcome bookkeeping shared by every "bad" exit (rejected /
+  /// shed / timed out / failed): windowed counter + SLO error.
+  void record_bad_outcome(const char* counter);
 
   // -- resilience -------------------------------------------------------------
   void handle_timeout(const Event& e);
@@ -269,6 +305,8 @@ class ServingRuntime {
   std::set<std::uint64_t> scan_cycles_;
 
   std::vector<double> tenant_usage_;  ///< bank-cycles / weight, for wfq
+
+  obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
 
   ServingReport report_;
 };

@@ -478,12 +478,18 @@ TEST(Serving, ReportJsonCarriesSchemaAndLatencyQuantiles) {
   cfg.arrival_rate_per_s = 100000;
   const auto r = ServingRuntime(cfg).run();
   const auto j = r.to_json();
-  EXPECT_EQ(j.at("schema").as_string(), "serving/1");
+  EXPECT_EQ(j.at("schema").as_string(), "serving/2");
   EXPECT_EQ(j.at("policy").as_string(), "fifo");
   const auto& lat = j.at("latency");
   EXPECT_GT(lat.at("p99_cycles").as_u64(), 0u);
   EXPECT_GE(lat.at("p99_cycles").as_u64(), lat.at("p50_cycles").as_u64());
   EXPECT_GT(r.latency_us(0.5), 0.0);
+  // The windowed telemetry rides along in every report; SLO only when
+  // objectives were configured (none here).
+  EXPECT_TRUE(j.contains("series"));
+  EXPECT_TRUE(j.contains("rolling"));
+  EXPECT_EQ(j.at("series").at("schema").as_string(), "timeseries/1");
+  EXPECT_FALSE(j.contains("slo"));
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// bench_compare — the perf-regression gate over bench_<name>.json files.
+//
+//   bench_compare [--tol T] [--tol NAME=T ...] BASELINE CURRENT
+//
+// BASELINE and CURRENT are either two bench JSON files or two
+// directories. In directory mode every bench_*.json in BASELINE must
+// have a same-named counterpart in CURRENT (extra files in CURRENT are
+// new benches, reported but not failed; manifest.json is skipped).
+//
+// Metrics are matched by (name, point params) and compared with a
+// symmetric relative tolerance:
+//
+//   |current - baseline| <= tol * max(|baseline|, |current|)
+//
+// which handles a zero baseline sanely: 0 -> 0 passes at any tolerance,
+// 0 -> anything else fails. The default band is --tol 0.05; per-metric
+// overrides (`--tol lane_cycles=0.2`) win over the global band. A
+// metric present in the baseline but missing from the current run is a
+// failure — silently dropped coverage is a regression too.
+//
+// Exit: 0 = all within tolerance, 1 = regression / missing data,
+// 2 = usage error. CI runs this against bench/baselines/ (see
+// bench/README.md; wall-clock benches like bench_cpu_ntt are excluded
+// from the committed baselines because they measure the host, not the
+// model).
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using cryptopim::obs::Json;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_compare [--tol T] [--tol NAME=T ...] "
+               "BASELINE CURRENT\n"
+               "       BASELINE/CURRENT: bench JSON files, or directories "
+               "of bench_*.json\n";
+  return 2;
+}
+
+std::optional<Json> load_json(const fs::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_compare: cannot read " << path.string() << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  auto r = cryptopim::obs::parse_json(buf.str());
+  if (!r.ok) {
+    std::cerr << "bench_compare: " << path.string() << ": " << r.error
+              << "\n";
+    return std::nullopt;
+  }
+  return std::move(r.value);
+}
+
+/// Stable identity of one measured point: metric name + sorted params.
+std::string metric_key(const Json& metric) {
+  std::string key = metric.at("name").as_string();
+  if (metric.contains("params")) {
+    std::map<std::string, std::string> sorted;
+    for (const auto& [k, v] : metric.at("params").members()) {
+      sorted[k] = v.as_string();
+    }
+    for (const auto& [k, v] : sorted) key += " " + k + "=" + v;
+  }
+  return key;
+}
+
+std::map<std::string, double> metric_map(const Json& doc) {
+  std::map<std::string, double> m;
+  if (!doc.is_object() || !doc.contains("metrics")) return m;
+  for (const auto& metric : doc.at("metrics").items()) {
+    m[metric_key(metric)] = metric.at("value").as_number();
+  }
+  return m;
+}
+
+struct Tolerances {
+  double global = 0.05;
+  std::map<std::string, double> per_metric;  ///< by metric name (no params)
+
+  double for_key(const std::string& key) const {
+    // The per-metric override matches on the metric name, which is the
+    // key up to the first param separator.
+    const auto name = key.substr(0, key.find(' '));
+    const auto it = per_metric.find(name);
+    return it == per_metric.end() ? global : it->second;
+  }
+};
+
+bool within(double baseline, double current, double tol) {
+  const double diff = std::abs(current - baseline);
+  const double scale = std::max(std::abs(baseline), std::abs(current));
+  return diff <= tol * scale;
+}
+
+/// Compares one bench file pair. Returns the number of failures.
+int compare_file(const fs::path& base_path, const fs::path& cur_path,
+                 const Tolerances& tol) {
+  const auto base = load_json(base_path);
+  const auto cur = load_json(cur_path);
+  if (!base || !cur) return 1;
+  const auto base_metrics = metric_map(*base);
+  const auto cur_metrics = metric_map(*cur);
+
+  int failures = 0;
+  for (const auto& [key, bval] : base_metrics) {
+    const auto it = cur_metrics.find(key);
+    if (it == cur_metrics.end()) {
+      std::cerr << "FAIL " << base_path.filename().string() << ": '" << key
+                << "' missing from current run\n";
+      ++failures;
+      continue;
+    }
+    const double t = tol.for_key(key);
+    if (!within(bval, it->second, t)) {
+      std::cerr << "FAIL " << base_path.filename().string() << ": '" << key
+                << "' baseline " << bval << " -> current " << it->second
+                << " (tol " << t << ")\n";
+      ++failures;
+    }
+  }
+  for (const auto& [key, cval] : cur_metrics) {
+    if (!base_metrics.contains(key)) {
+      std::cout << "note " << base_path.filename().string() << ": new metric '"
+                << key << "' = " << cval << " (no baseline)\n";
+    }
+  }
+  if (failures == 0) {
+    std::cout << "ok   " << base_path.filename().string() << " ("
+              << base_metrics.size() << " metrics)\n";
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Tolerances tol;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tol") {
+      if (i + 1 >= argc) return usage();
+      const std::string v = argv[++i];
+      const auto eq = v.find('=');
+      try {
+        if (eq == std::string::npos) {
+          tol.global = std::stod(v);
+        } else {
+          tol.per_metric[v.substr(0, eq)] = std::stod(v.substr(eq + 1));
+        }
+      } catch (const std::exception&) {
+        std::cerr << "bench_compare: bad tolerance '" << v << "'\n";
+        return usage();
+      }
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.size() != 2) return usage();
+  const fs::path& base = paths[0];
+  const fs::path& cur = paths[1];
+
+  int failures = 0;
+  if (fs::is_directory(base)) {
+    if (!fs::is_directory(cur)) {
+      std::cerr << "bench_compare: " << base.string()
+                << " is a directory but " << cur.string() << " is not\n";
+      return 2;
+    }
+    // Sorted for deterministic report order.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(base)) {
+      const auto name = entry.path().filename().string();
+      if (!entry.is_regular_file()) continue;
+      if (name == "manifest.json") continue;
+      if (!name.ends_with(".json")) continue;
+      files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::cerr << "bench_compare: no bench JSON in " << base.string()
+                << "\n";
+      return 1;
+    }
+    for (const auto& f : files) {
+      const fs::path counterpart = cur / f.filename();
+      if (!fs::exists(counterpart)) {
+        std::cerr << "FAIL " << f.filename().string()
+                  << ": missing from current directory\n";
+        ++failures;
+        continue;
+      }
+      failures += compare_file(f, counterpart, tol);
+    }
+  } else {
+    failures += compare_file(base, cur, tol);
+  }
+
+  if (failures != 0) {
+    std::cerr << "bench_compare: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "bench_compare: all metrics within tolerance\n";
+  return 0;
+}

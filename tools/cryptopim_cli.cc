@@ -34,6 +34,7 @@
 #include "core/cryptopim.h"
 #include "crypto/kem.h"
 #include "obs/bench_report.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -130,6 +131,17 @@ int serve_help() {
          "                       corrupting windows) + the full mitigation\n"
          "                       stack; individual flags still override\n"
          "  --chaos-seed S       chaos episode RNG seed (default: --seed)\n"
+         "\n"
+         "observability:\n"
+         "  --events PATH        write the request-lifecycle event log as\n"
+         "                       JSONL (one record per transition: admitted,\n"
+         "                       dispatched, retry, hedge, completed, ...)\n"
+         "  --slo A:LAT          SLO objectives: availability fraction and\n"
+         "                       latency threshold in us (e.g. 0.999:50);\n"
+         "                       the report gains per-window error-budget\n"
+         "                       burn accounting\n"
+         "  --window-us US       rolling-telemetry window width (default:\n"
+         "                       auto, ~64 windows across the horizon)\n"
          "\n"
          "global flags: --json (serving report as JSON), --trace=FILE\n";
   return 0;
@@ -570,6 +582,34 @@ int cmd_serve(const Options& opt) {
       take_u64(args, "--breaker", res.breaker_k, 0, 1u << 20));
   res.wear_limit = take_u64(args, "--wear-limit", res.wear_limit);
 
+  // -- observability ----------------------------------------------------------
+  const auto events_path = take_value(args, "--events");
+  if (events_path && events_path->empty()) {
+    throw UsageError("--events requires a non-empty path");
+  }
+  cfg.window_cycles = static_cast<std::uint64_t>(
+      take_double(args, "--window-us", 0.0, 0.0, 1e9) * cfg.cycles_per_us());
+  if (const auto slo = take_value(args, "--slo")) {
+    // AVAIL:LATENCY_US, e.g. 0.999:50 = "99.9% served, 99% of them
+    // within 50 us". Both halves strict full-token parses.
+    const auto colon = slo->find(':');
+    if (colon == std::string::npos) {
+      throw UsageError("--slo expects AVAILABILITY:LATENCY_US, got '" + *slo +
+                       "'");
+    }
+    cfg.slo.availability =
+        parse_double("--slo availability", slo->substr(0, colon));
+    cfg.slo.latency_us = parse_double("--slo latency", slo->substr(colon + 1));
+    if (!(cfg.slo.availability >= 0.0 && cfg.slo.availability <= 1.0)) {
+      throw UsageError("--slo availability must be in [0, 1], got '" +
+                       slo->substr(0, colon) + "'");
+    }
+    if (!(cfg.slo.latency_us >= 0.0)) {
+      throw UsageError("--slo latency must be >= 0, got '" +
+                       slo->substr(colon + 1) + "'");
+    }
+  }
+
   if (const int rc = reject_leftovers(args)) return rc;
   if (!cp::runtime::make_policy(cfg.policy)) {
     throw UsageError("unknown policy '" + cfg.policy + "' (expected one of: "
@@ -577,7 +617,17 @@ int cmd_serve(const Options& opt) {
   }
 
   cp::runtime::ServingRuntime rt(cfg);
+  cp::obs::EventLog elog;
+  if (events_path) {
+    elog.set_enabled(true);
+    rt.set_event_log(&elog);
+  }
   const auto rep = rt.run();
+  if (events_path) {
+    elog.write_jsonl(*events_path);
+    std::cerr << "[events: " << *events_path << ", " << elog.size()
+              << " records]\n";
+  }
   if (opt.json) {
     cp::obs::Json j = cp::obs::Json::object();
     j.set("command", "serve");
@@ -615,6 +665,19 @@ int cmd_serve(const Options& opt) {
               << " missed\n"
               << "verified:    " << cp::fmt_i(rep.verified) << " ok, "
               << cp::fmt_i(rep.verify_failures) << " failed\n";
+    if (rep.slo.enabled()) {
+      std::cout << "slo:         availability "
+                << cp::fmt_pct(rep.slo.availability(), 3) << " (objective "
+                << cp::fmt_pct(rep.slo.config().availability, 3) << "), "
+                << "error budget " << cp::fmt_pct(
+                       rep.slo.error_budget_consumed(), 1)
+                << " consumed\n"
+                << "  latency:   " << cp::fmt_i(rep.slo.latency_violations())
+                << " violations, budget "
+                << cp::fmt_pct(rep.slo.latency_budget_consumed(), 1)
+                << " consumed, max window burn "
+                << cp::fmt_f(rep.slo.max_window_burn()) << "x\n";
+    }
     if (rep.resilience_enabled) {
       const auto& rs = rep.resilience;
       std::cout << "resilience:  " << cp::fmt_i(rs.rejected_deadline)

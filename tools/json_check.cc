@@ -1,23 +1,147 @@
-// json_check — validates that each argument file parses as JSON.
+// json_check — validates observability output files.
 //
-// Used by tools/run_benches.sh (and the bench_smoke ctest) to assert that
-// every bench emitted a well-formed bench_<name>.json, and by the CLI
-// smoke tests on --trace output. Exit 0 iff every file parses.
+// Default mode: each argument file must parse as one JSON document.
+// Used by tools/run_benches.sh (and the bench_smoke ctest) to assert
+// that every bench emitted a well-formed bench_<name>.json, and by the
+// CLI smoke tests on --trace output.
+//
+// --events: arguments are serve-events JSONL logs. Every line must
+// parse; the first must be a {"schema":"serve-events/1"} header whose
+// "records" count matches the body; every record needs "ev" + "cycle",
+// request-scoped records (everything but carve / bank_failure) also
+// need "trace" and "tenant".
+//
+// --serving: arguments are `serve --json` reports. The document must
+// carry report.schema "serving/2" with the windowed "series" section
+// (schema "timeseries/1"); when an "slo" section is present it must be
+// schema "slo/1" with summary + windows.
+//
+// Exit 0 iff every file validates.
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 
+using cryptopim::obs::Json;
+using cryptopim::obs::parse_json;
+
+namespace {
+
+bool fail(const std::string& path, const std::string& why) {
+  std::cerr << "json_check: " << path << ": " << why << "\n";
+  return false;
+}
+
+bool check_plain(const std::string& path, const std::string& text) {
+  const auto r = parse_json(text);
+  if (!r.ok) return fail(path, r.error);
+  std::cout << "ok " << path << " (" << text.size() << " bytes)\n";
+  return true;
+}
+
+bool check_events(const std::string& path, const std::string& text) {
+  // Control records describe the chip, not one request, so they carry
+  // no trace id.
+  static const std::set<std::string> kControl = {"carve", "bank_failure"};
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t declared = 0;
+  std::uint64_t records = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto r = parse_json(line);
+    if (!r.ok) {
+      return fail(path, "line " + std::to_string(lineno) + ": " + r.error);
+    }
+    const Json& j = r.value;
+    if (!j.is_object()) {
+      return fail(path, "line " + std::to_string(lineno) + ": not an object");
+    }
+    if (lineno == 1) {
+      if (!j.contains("schema") ||
+          j.at("schema").as_string() != "serve-events/1") {
+        return fail(path, "missing serve-events/1 header");
+      }
+      if (!j.contains("records")) return fail(path, "header lacks 'records'");
+      declared = j.at("records").as_u64();
+      continue;
+    }
+    ++records;
+    if (!j.contains("ev") || !j.contains("cycle")) {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": record lacks ev/cycle");
+    }
+    if (!kControl.contains(j.at("ev").as_string()) &&
+        (!j.contains("trace") || !j.contains("tenant"))) {
+      return fail(path, "line " + std::to_string(lineno) + ": '" +
+                            j.at("ev").as_string() +
+                            "' record lacks trace/tenant");
+    }
+  }
+  if (lineno == 0) return fail(path, "empty event log");
+  if (records != declared) {
+    return fail(path, "header declares " + std::to_string(declared) +
+                          " records, found " + std::to_string(records));
+  }
+  std::cout << "ok " << path << " (" << records << " events)\n";
+  return true;
+}
+
+bool check_serving(const std::string& path, const std::string& text) {
+  const auto r = parse_json(text);
+  if (!r.ok) return fail(path, r.error);
+  const Json& doc = r.value;
+  // Accept both the bare report and the CLI envelope {"report": {...}}.
+  const Json& rep = doc.is_object() && doc.contains("report")
+                        ? doc.at("report")
+                        : doc;
+  if (!rep.is_object() || !rep.contains("schema") ||
+      rep.at("schema").as_string() != "serving/2") {
+    return fail(path, "not a serving/2 report");
+  }
+  if (!rep.contains("series")) return fail(path, "missing 'series' section");
+  const Json& series = rep.at("series");
+  if (!series.contains("schema") ||
+      series.at("schema").as_string() != "timeseries/1" ||
+      !series.contains("windows")) {
+    return fail(path, "series is not a timeseries/1 document");
+  }
+  if (!rep.contains("rolling")) return fail(path, "missing 'rolling' rates");
+  if (rep.contains("slo")) {
+    const Json& slo = rep.at("slo");
+    if (!slo.contains("schema") || slo.at("schema").as_string() != "slo/1" ||
+        !slo.contains("summary") || !slo.contains("windows")) {
+      return fail(path, "slo is not a slo/1 document");
+    }
+  }
+  std::cout << "ok " << path << " (serving/2, "
+            << series.at("windows").size() << " windows)\n";
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: json_check <file.json> [<file.json> ...]\n";
+  enum class Mode { kPlain, kEvents, kServing } mode = Mode::kPlain;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--events") mode = Mode::kEvents;
+    else if (a == "--serving") mode = Mode::kServing;
+    else files.push_back(a);
+  }
+  if (files.empty()) {
+    std::cerr << "usage: json_check [--events|--serving] <file> [<file> ...]\n";
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string path = argv[i];
+  for (const auto& path : files) {
     std::ifstream is(path);
     if (!is) {
       std::cerr << "json_check: cannot read " << path << "\n";
@@ -27,13 +151,13 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << is.rdbuf();
     const std::string text = buf.str();
-    const auto r = cryptopim::obs::parse_json(text);
-    if (!r.ok) {
-      std::cerr << "json_check: " << path << ": " << r.error << "\n";
-      ++failures;
-    } else {
-      std::cout << "ok " << path << " (" << text.size() << " bytes)\n";
+    bool ok = false;
+    switch (mode) {
+      case Mode::kPlain: ok = check_plain(path, text); break;
+      case Mode::kEvents: ok = check_events(path, text); break;
+      case Mode::kServing: ok = check_serving(path, text); break;
     }
+    if (!ok) ++failures;
   }
   return failures == 0 ? 0 : 1;
 }

@@ -92,4 +92,12 @@ if [ $failures -ne 0 ]; then
   echo "run_benches: $failures failure(s)" >&2
   exit 1
 fi
+
+# Run manifest: provenance for the bench JSONs sitting next to it, so a
+# directory of results is self-describing (what commit, when, where).
+git_desc="$(git -C "$repo_root" describe --always --dirty --tags 2>/dev/null || echo unknown)"
+cat > "$out_dir/manifest.json" <<EOF
+{"schema":"bench-manifest/1","git":"$git_desc","date":"$(date -u +%Y-%m-%dT%H:%M:%SZ)","host":"$(uname -sm)"}
+EOF
+
 echo "run_benches: all benches OK, JSON in $out_dir"
