@@ -41,6 +41,7 @@
 #include "ntt/params.h"
 #include "ntt/poly.h"
 #include "ntt/reduction.h"
+#include "ntt/word_ntt.h"
 #include "pim/block.h"
 #include "pim/circuits/arith.h"
 #include "pim/circuits/reduction.h"
@@ -51,6 +52,7 @@
 #include "reliability/fault_model.h"
 #include "reliability/manager.h"
 #include "reliability/verifier.h"
+#include "runtime/backend.h"
 #include "runtime/policy.h"
 #include "runtime/serving.h"
 #include "runtime/workload.h"

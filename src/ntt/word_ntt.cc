@@ -1,0 +1,162 @@
+#include "ntt/word_ntt.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "ntt/modular.h"
+#include "ntt/ntt.h"
+
+namespace cryptopim::ntt {
+
+namespace {
+
+/// c' = floor(c * 2^32 / q) for a constant c < q.
+inline std::uint32_t shoup_of(std::uint32_t c, std::uint32_t q) {
+  return static_cast<std::uint32_t>((static_cast<std::uint64_t>(c) << 32) / q);
+}
+
+/// x * c mod q in [0, 2q), valid for any x < 2^32 and constant c < q
+/// with c_shoup = floor(c * 2^32 / q). The quotient estimate is off by
+/// at most one, so the 32-bit wrapping subtraction recovers a value
+/// r == x*c (mod q) with r < q * (x / 2^32 + 1) < 2q.
+inline std::uint32_t mul_shoup_lazy(std::uint32_t x, std::uint32_t c,
+                                    std::uint32_t c_shoup, std::uint32_t q) {
+  const auto quot = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(x) * c_shoup) >> 32);
+  return x * c - quot * q;
+}
+
+/// a + b with one conditional subtract; stays in [0, 2q) for inputs in
+/// [0, 2q).
+inline std::uint32_t add_lazy(std::uint32_t a, std::uint32_t b,
+                              std::uint32_t twoq) {
+  const std::uint32_t s = a + b;
+  return s >= twoq ? s - twoq : s;
+}
+
+}  // namespace
+
+WordNttEngine::WordNttEngine(const NttParams& params) : params_(params) {
+  // q < 2^30 keeps the butterfly's u - v + 2q (< 4q) and u + v (< 4q)
+  // inside 32 bits.
+  if (params_.q >= (1u << 30)) {
+    throw std::invalid_argument("WordNttEngine requires q < 2^30");
+  }
+  twoq_ = 2 * params_.q;
+  barrett_mu_ = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(1) << 64) / params_.q);
+
+  // Identical table construction to GsNttEngine (bit-reversed twiddles,
+  // normal-order psi tables) so the two engines execute the same
+  // schedule over the same constants.
+  const GsNttEngine ref(params_);
+  const std::uint32_t q = params_.q;
+  auto with_shoup = [q](const std::vector<std::uint32_t>& src,
+                        std::vector<std::uint32_t>& dst,
+                        std::vector<std::uint32_t>& dst_shoup) {
+    dst = src;
+    dst_shoup.resize(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst_shoup[i] = shoup_of(src[i], q);
+    }
+  };
+  with_shoup(ref.forward_twiddles(), tw_fwd_, tw_fwd_shoup_);
+  with_shoup(ref.inverse_twiddles(), tw_inv_, tw_inv_shoup_);
+  with_shoup(ref.psi_powers(), psi_pow_, psi_pow_shoup_);
+  with_shoup(ref.psi_inv_scaled(), psi_inv_scaled_, psi_inv_scaled_shoup_);
+}
+
+void WordNttEngine::transform_lazy(std::span<std::uint32_t> a,
+                                   const std::vector<std::uint32_t>& tw,
+                                   const std::vector<std::uint32_t>& tw_shoup,
+                                   const StageProbe* probe) const {
+  const std::uint32_t n = params_.n;
+  const std::uint32_t q = params_.q;
+  const std::uint32_t twoq = twoq_;
+  assert(a.size() == n);
+
+  // Algorithm 2's schedule, lazy form: stage i pairs rows (j, j + 2^i),
+  // twiddle index j >> (i+1). Inputs in [0, 2q); u + v gets one
+  // conditional subtract, u - v + 2q (< 4q) feeds the Shoup multiply.
+  for (unsigned i = 0; i < params_.log2n; ++i) {
+    const std::uint32_t stride = 1u << i;
+    for (std::uint32_t idx = 0; idx < n / 2; ++idx) {
+      const std::uint32_t st = idx & (stride - 1);
+      const std::uint32_t j = ((idx & ~(stride - 1)) << 1) + st;
+      const std::uint32_t j2 = j + stride;
+      const std::uint32_t k = j >> (i + 1);
+      const std::uint32_t u = a[j];
+      const std::uint32_t v = a[j2];
+      a[j] = add_lazy(u, v, twoq);
+      a[j2] = mul_shoup_lazy(u - v + twoq, tw[k], tw_shoup[k], q);
+    }
+    if (probe && *probe) (*probe)(a);
+  }
+}
+
+void WordNttEngine::forward_impl(std::span<std::uint32_t> a,
+                                 const StageProbe* probe) const {
+  const std::uint32_t q = params_.q;
+  assert(a.size() == params_.n);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = mul_shoup_lazy(a[i], psi_pow_[i], psi_pow_shoup_[i], q);
+  }
+  if (probe && *probe) (*probe)(a);
+  bitrev_permute(a);
+  transform_lazy(a, tw_fwd_, tw_fwd_shoup_, probe);
+}
+
+void WordNttEngine::inverse_impl(std::span<std::uint32_t> a,
+                                 const StageProbe* probe) const {
+  const std::uint32_t q = params_.q;
+  assert(a.size() == params_.n);
+  bitrev_permute(a);
+  transform_lazy(a, tw_inv_, tw_inv_shoup_, probe);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = mul_shoup_lazy(a[i], psi_inv_scaled_[i], psi_inv_scaled_shoup_[i],
+                          q);
+  }
+  if (probe && *probe) (*probe)(a);
+}
+
+void WordNttEngine::pointwise_lazy(std::span<std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) const {
+  assert(a.size() == params_.n && b.size() == params_.n);
+  const std::uint32_t q = params_.q;
+  // Barrett with mu = floor(2^64 / q): for prod < 2^62 the quotient
+  // estimate (prod * mu) >> 64 is off by at most one, so the remainder
+  // lands in [0, 2q).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t prod =
+        static_cast<std::uint64_t>(a[i]) * static_cast<std::uint64_t>(b[i]);
+    const auto quot = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(prod) * barrett_mu_) >> 64);
+    a[i] = static_cast<std::uint32_t>(prod - quot * q);
+  }
+}
+
+void WordNttEngine::normalize(std::span<std::uint32_t> a) const noexcept {
+  const std::uint32_t q = params_.q;
+  for (auto& x : a) {
+    if (x >= q) x -= q;
+  }
+}
+
+std::vector<std::uint32_t> WordNttEngine::negacyclic_multiply(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) const {
+  const std::uint32_t n = params_.n;
+  if (a.size() != n || b.size() != n) {
+    throw std::invalid_argument("operand size does not match the degree");
+  }
+  std::vector<std::uint32_t> abar(a.begin(), a.end());
+  std::vector<std::uint32_t> bbar(b.begin(), b.end());
+  forward_lazy(abar);
+  forward_lazy(bbar);
+  pointwise_lazy(abar, bbar);
+  inverse_lazy(abar);
+  normalize(abar);
+  return abar;
+}
+
+}  // namespace cryptopim::ntt

@@ -1,0 +1,106 @@
+// Host-speed word-level NTT engine.
+//
+// `WordNttEngine` computes the same negacyclic products as `GsNttEngine`
+// (and therefore the same results the gate-level crossbar simulator
+// produces) but on flat host words instead of simulated bit-serial
+// circuits. The speed comes from two classic tricks, both borrowed from
+// production NTT libraries (cf. gmp-ecm's libntt, SNIPPETS.md §2):
+//
+//  * Shoup multiplication: every constant operand c (twiddles, psi
+//    powers, the fused inverse scaling table) is stored with a
+//    precomputed reciprocal c' = floor(c * 2^32 / q), so x*c mod q is
+//    two 32x32 multiplies and a subtraction — no division, no runtime
+//    reduction constant.
+//  * Lazy partial reduction: intermediates live in the redundant range
+//    [0, 2q) through the whole transform; additions conditionally
+//    subtract 2q, Shoup/Barrett products land in [0, 2q) by
+//    construction, and a single final `normalize` pass brings the
+//    result back to canonical [0, q).
+//
+// Because every operation is exact modulo q, the canonical output is
+// bit-identical to GsNttEngine / the gate-level simulator — that
+// equivalence is enforced by tests/test_backend_diff.cc.
+//
+// Requires q < 2^30 so that the [0, 4q) butterfly intermediates fit in
+// 32 bits (every paper modulus is far below this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace cryptopim::ntt {
+
+/// Gentleman–Sande NTT over flat 32-bit words with Shoup/Barrett
+/// precomputation and lazy [0, 2q) partial reduction.
+class WordNttEngine {
+ public:
+  /// Observation hook for the reduction-invariant property tests: called
+  /// after each arithmetic phase (pre-twist, every butterfly stage, the
+  /// inverse post-scale) with the current coefficient vector. Every
+  /// value handed to the probe is < 2q.
+  using StageProbe = std::function<void(std::span<const std::uint32_t>)>;
+
+  /// Throws std::invalid_argument if params.q >= 2^30.
+  explicit WordNttEngine(const NttParams& params);
+
+  const NttParams& params() const noexcept { return params_; }
+  std::uint32_t two_q() const noexcept { return twoq_; }
+
+  /// Forward negacyclic NTT (psi pre-twist, bit-reverse, Algorithm 2).
+  /// Accepts any 32-bit coefficients (interpreted mod q); output is in
+  /// normal order, partial domain [0, 2q).
+  void forward_lazy(std::span<std::uint32_t> a) const {
+    forward_impl(a, nullptr);
+  }
+  void forward_lazy(std::span<std::uint32_t> a, const StageProbe& probe) const {
+    forward_impl(a, &probe);
+  }
+
+  /// Inverse negacyclic NTT (bit-reverse, Algorithm 2 with w^{-1},
+  /// fused psi^{-i} n^{-1} post-scale). Expects coefficients in
+  /// [0, 2q); output is in normal order, partial domain [0, 2q).
+  void inverse_lazy(std::span<std::uint32_t> a) const {
+    inverse_impl(a, nullptr);
+  }
+  void inverse_lazy(std::span<std::uint32_t> a, const StageProbe& probe) const {
+    inverse_impl(a, &probe);
+  }
+
+  /// a[i] = a[i] * b[i] mod q via Barrett with the precomputed 2^64
+  /// reciprocal; inputs in [0, 2q), outputs in [0, 2q).
+  void pointwise_lazy(std::span<std::uint32_t> a,
+                      std::span<const std::uint32_t> b) const;
+
+  /// The single final conditional-subtract pass: [0, 2q) -> [0, q).
+  void normalize(std::span<std::uint32_t> a) const noexcept;
+
+  /// c = a * b over Z_q[x]/(x^n + 1); canonical [0, q) output,
+  /// bit-exact vs GsNttEngine::negacyclic_multiply.
+  std::vector<std::uint32_t> negacyclic_multiply(
+      std::span<const std::uint32_t> a,
+      std::span<const std::uint32_t> b) const;
+
+ private:
+  void forward_impl(std::span<std::uint32_t> a, const StageProbe* probe) const;
+  void inverse_impl(std::span<std::uint32_t> a, const StageProbe* probe) const;
+  void transform_lazy(std::span<std::uint32_t> a,
+                      const std::vector<std::uint32_t>& tw,
+                      const std::vector<std::uint32_t>& tw_shoup,
+                      const StageProbe* probe) const;
+
+  NttParams params_;
+  std::uint32_t twoq_ = 0;
+  std::uint64_t barrett_mu_ = 0;  ///< floor(2^64 / q)
+  // Same tables and ordering as GsNttEngine, each paired with its Shoup
+  // reciprocal table.
+  std::vector<std::uint32_t> tw_fwd_, tw_fwd_shoup_;
+  std::vector<std::uint32_t> tw_inv_, tw_inv_shoup_;
+  std::vector<std::uint32_t> psi_pow_, psi_pow_shoup_;
+  std::vector<std::uint32_t> psi_inv_scaled_, psi_inv_scaled_shoup_;
+};
+
+}  // namespace cryptopim::ntt

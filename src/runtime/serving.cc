@@ -11,6 +11,7 @@
 #include "ntt/poly.h"
 #include "obs/trace.h"
 #include "reliability/verifier.h"
+#include "runtime/backend.h"
 
 namespace cryptopim::runtime {
 
@@ -101,6 +102,7 @@ obs::Json ServingReport::to_json() const {
   obs::Json j = obs::Json::object();
   j.set("schema", "serving/2");
   j.set("policy", policy);
+  j.set("backend", backend);
   j.set("duration_cycles", duration_cycles);
   j.set("drain_cycle", drain_cycle);
   j.set("submitted", submitted);
@@ -226,6 +228,10 @@ ServingReport ServingRuntime::run() {
   if (!policy_) {
     throw std::invalid_argument("unknown scheduling policy: " + cfg_.policy);
   }
+  backend_ = make_backend(cfg_.backend);
+  if (!backend_) {
+    throw std::invalid_argument("unknown execution backend: " + cfg_.backend);
+  }
   if (cfg_.workload.mix.empty()) {
     throw std::invalid_argument("degree mix must not be empty");
   }
@@ -239,6 +245,7 @@ ServingReport ServingRuntime::run() {
   horizon_ = horizon;
   report_ = ServingReport{};
   report_.policy = cfg_.policy;
+  report_.backend = cfg_.backend;
   report_.duration_cycles = horizon;
   report_.cycles_per_us = cyc_per_us;
 
@@ -914,20 +921,18 @@ void ServingRuntime::handle_bank_failure(const Event&) {
 
 void ServingRuntime::verify_result(const Request& r) {
   // Materialise the operands from the request's seed, produce the result
-  // through the software mirror of the datapath, and Freivalds-check it.
-  // The engines are cached per degree class; a degree without a paper
-  // parameter set (above 32k: segmented execution) is skipped.
-  struct VerifyEngine {
-    ntt::NttParams params;
-    ntt::GsNttEngine engine;
-    explicit VerifyEngine(std::uint32_t n)
-        : params(ntt::NttParams::for_degree(n)), engine(params) {}
-  };
-  thread_local std::map<std::uint32_t, std::unique_ptr<VerifyEngine>> cache;
+  // through the configured execution backend, and Freivalds-check it.
+  // The analytic tier returns no functional result, so there is nothing
+  // to verify; a degree without a paper parameter set (above 32k:
+  // segmented execution) is skipped. Parameter sets are cached per
+  // degree class; the backend caches its engines/simulators internally.
+  if (!backend_ || !backend_->functional()) return;
+  thread_local std::map<std::uint32_t, std::unique_ptr<ntt::NttParams>> cache;
   auto it = cache.find(r.degree);
   if (it == cache.end()) {
     try {
-      it = cache.emplace(r.degree, std::make_unique<VerifyEngine>(r.degree))
+      it = cache.emplace(r.degree, std::make_unique<ntt::NttParams>(
+                                       ntt::NttParams::for_degree(r.degree)))
                .first;
     } catch (const std::exception&) {
       cache.emplace(r.degree, nullptr);
@@ -935,17 +940,17 @@ void ServingRuntime::verify_result(const Request& r) {
     }
   }
   if (!it->second) return;
-  const VerifyEngine& ve = *it->second;
+  const ntt::NttParams& params = *it->second;
 
   Xoshiro256 rng(r.data_seed);
-  const auto a = ntt::sample_uniform(ve.params.n, ve.params.q, rng);
-  const auto b = ntt::sample_uniform(ve.params.n, ve.params.q, rng);
-  const auto c = ve.engine.negacyclic_multiply(a, b);
+  const auto a = ntt::sample_uniform(params.n, params.q, rng);
+  const auto b = ntt::sample_uniform(params.n, params.q, rng);
+  const auto res = backend_->execute(params, a, b);
   reliability::VerifyConfig vc;
   vc.points = cfg_.verify_points;
   vc.seed = r.data_seed ^ 0x5eed5eedULL;
-  reliability::ResultVerifier verifier(ve.params, vc);
-  if (verifier.check(a, b, c)) {
+  reliability::ResultVerifier verifier(params, vc);
+  if (verifier.check(a, b, res.product)) {
     report_.verified += 1;
   } else {
     report_.verify_failures += 1;

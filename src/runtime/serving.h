@@ -66,6 +66,8 @@
 
 namespace cryptopim::runtime {
 
+class ExecutionBackend;  // runtime/backend.h
+
 /// Trace track ids used by the runtime: base + lane index (base itself
 /// is the control track carrying repartition/failure spans). Disjoint
 /// from the simulator tracks (0..banks, 1<<15, 1<<16, 1<<17 ranges).
@@ -74,6 +76,13 @@ inline constexpr std::uint32_t kRuntimeTrackBase = 1u << 18;
 struct ServingConfig {
   arch::ChipConfig chip = arch::ChipConfig::paper_chip();
   std::string policy = "fifo";
+  /// Execution backend for data-carrying (verified) requests: "gate"
+  /// (crossbar simulation, golden), "word" (host-speed flat-word NTT,
+  /// bit-exact vs gate) or "analytic" (accounting only, nothing to
+  /// verify). See runtime/backend.h. Scheduling, admission and cycle
+  /// accounting are backend-invariant: same-seed reports differ only in
+  /// the report's `backend` field (and host wall-clock).
+  std::string backend = "word";
 
   // -- workload ---------------------------------------------------------------
   WorkloadSpec workload;
@@ -136,6 +145,7 @@ struct TenantStats {
 
 struct ServingReport {
   std::string policy;
+  std::string backend;  ///< execution backend the run verified through
   std::uint64_t duration_cycles = 0;  ///< arrival horizon
   std::uint64_t drain_cycle = 0;      ///< last event processed
 
@@ -277,6 +287,7 @@ class ServingRuntime {
 
   ServingConfig cfg_;
   std::unique_ptr<Policy> policy_;
+  std::unique_ptr<ExecutionBackend> backend_;
   std::unique_ptr<WorkloadGenerator> workload_;
 
   EventQueue events_;

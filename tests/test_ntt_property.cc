@@ -9,6 +9,7 @@
 #include "ntt/ntt.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "ntt/word_ntt.h"
 
 namespace cryptopim::ntt {
 namespace {
@@ -118,6 +119,115 @@ TEST_P(NttAlgebra, PointwiseSquareMatchesSelfMultiply) {
 
 INSTANTIATE_TEST_SUITE_P(Degrees, NttAlgebra,
                          ::testing::Values(16u, 256u, 512u, 2048u));
+
+// ---------------------------------------------------------------------------
+// Lazy-reduction invariants of the word-level engine
+// ---------------------------------------------------------------------------
+// The WordNttEngine keeps intermediates in the redundant [0, 2q) range
+// through the whole transform and normalizes exactly once at the end.
+// These properties pin the contract: no intermediate ever escapes 2q,
+// the final normalize is canonical, and the lazy round trip is the
+// identity (the n^{-1} scaling is folded into the inverse psi table, so
+// forward ∘ inverse == id exactly, no residual scale factor).
+
+class WordLazy : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void SetUp() override {
+    params_ = NttParams::for_degree(GetParam());
+    word_ = std::make_unique<WordNttEngine>(params_);
+    gs_ = std::make_unique<GsNttEngine>(params_);
+    rng_ = std::make_unique<Xoshiro256>(GetParam() * 31 + 7);
+  }
+  Poly random_poly() { return sample_uniform(params_.n, params_.q, *rng_); }
+
+  /// Probe asserting the partial-domain invariant at every phase.
+  WordNttEngine::StageProbe bound_probe(const char* where) {
+    return [this, where](std::span<const std::uint32_t> a) {
+      for (const auto v : a) {
+        ASSERT_LT(v, word_->two_q()) << where << ": intermediate escaped 2q";
+      }
+    };
+  }
+
+  NttParams params_;
+  std::unique_ptr<WordNttEngine> word_;
+  std::unique_ptr<GsNttEngine> gs_;
+  std::unique_ptr<Xoshiro256> rng_;
+};
+
+TEST_P(WordLazy, EveryIntermediateStaysBelowTwoQ) {
+  for (int round = 0; round < 10; ++round) {
+    auto a = random_poly();
+    auto b = random_poly();
+    word_->forward_lazy(a, bound_probe("forward"));
+    word_->forward_lazy(b, bound_probe("forward"));
+    word_->pointwise_lazy(a, b);
+    for (const auto v : a) ASSERT_LT(v, word_->two_q()) << "pointwise";
+    word_->inverse_lazy(a, bound_probe("inverse"));
+  }
+}
+
+TEST_P(WordLazy, IntermediatesStayBoundedFromPartialDomainInputs) {
+  // The forward transform must hold the invariant even when fed the
+  // extreme of the redundant representation (all coefficients 2q-1).
+  Poly a(params_.n, word_->two_q() - 1);
+  word_->forward_lazy(a, bound_probe("forward[2q-1]"));
+}
+
+TEST_P(WordLazy, FinalNormalizeLandsCanonical) {
+  for (int round = 0; round < 10; ++round) {
+    auto a = random_poly();
+    word_->forward_lazy(a);
+    word_->inverse_lazy(a);
+    word_->normalize(a);
+    for (const auto v : a) ASSERT_LT(v, params_.q);
+  }
+  // The normalize pass itself: 2q-1 -> q-1, q -> 0, q-1 unchanged.
+  Poly edge = {word_->two_q() - 1, params_.q, params_.q - 1, 0};
+  word_->normalize(edge);
+  EXPECT_EQ(edge, (Poly{params_.q - 1, 0, params_.q - 1, 0}));
+}
+
+TEST_P(WordLazy, ForwardInverseRoundTripIsIdentity) {
+  // NTT ∘ INTT == identity; the ± n scaling of the raw transform pair
+  // is already folded into psi_inv_scaled, so the round trip is exact.
+  const auto orig = random_poly();
+  auto a = orig;
+  word_->forward_lazy(a);
+  word_->inverse_lazy(a);
+  word_->normalize(a);
+  EXPECT_EQ(a, orig);
+}
+
+TEST_P(WordLazy, LazyForwardMatchesCanonicalEngine) {
+  // Normalizing the lazy spectrum reproduces GsNttEngine::forward
+  // value-for-value — same schedule, same twiddles, exact arithmetic.
+  auto a = random_poly();
+  auto ref = a;
+  word_->forward_lazy(a);
+  word_->normalize(a);
+  gs_->forward(ref);
+  EXPECT_EQ(a, ref);
+}
+
+TEST_P(WordLazy, NegacyclicProductMatchesCanonicalEngine) {
+  const auto a = random_poly();
+  const auto b = random_poly();
+  EXPECT_EQ(word_->negacyclic_multiply(a, b), gs_->negacyclic_multiply(a, b));
+}
+
+// All supported (n, q) classes: the three paper moduli across their
+// degree ranges, including the 32-bit datapath points.
+INSTANTIATE_TEST_SUITE_P(Degrees, WordLazy,
+                         ::testing::Values(16u, 256u, 512u, 1024u, 2048u,
+                                           8192u));
+
+TEST(WordLazyConstruction, RejectsOversizedModulus) {
+  // q >= 2^30 would overflow the 32-bit lazy butterfly; the engine must
+  // refuse rather than compute garbage.
+  EXPECT_THROW(WordNttEngine(NttParams::make(4, 3221225473u)),
+               std::invalid_argument);
+}
 
 // ---------------------------------------------------------------------------
 // Sampler distributions

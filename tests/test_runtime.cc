@@ -473,6 +473,93 @@ TEST(Serving, FailuresBeyondSparesShrinkTheChip) {
   expect_work_conserved(r);
 }
 
+// -- backend matrix -----------------------------------------------------------
+// The scheduler is backend-invariant: which execution tier runs the
+// verified requests must not change admission, scheduling, simulated
+// cycle accounting or verified counts. Same-seed reports across
+// functional backends differ only in the report's `backend` provenance
+// field (and host wall-clock, which the report never contains).
+
+class ServingBackends : public ::testing::TestWithParam<const char*> {
+ protected:
+  /// Degree 256 keeps the gate tier's crossbar verifies affordable
+  /// inside a unit test (a few ms each).
+  ServingConfig backend_config(double duration_us) {
+    ServingConfig cfg = base_config(256, duration_us);
+    cfg.backend = GetParam();
+    cfg.arrival_rate_per_s = 30000;
+    cfg.workload.verify_every = 4;
+    return cfg;
+  }
+};
+
+TEST_P(ServingBackends, DeterministicReportForFixedSeed) {
+  const ServingConfig cfg = backend_config(300);
+  const auto a = ServingRuntime(cfg).run();
+  const auto b = ServingRuntime(cfg).run();
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_GT(a.verified, 0u);
+  EXPECT_EQ(a.verify_failures, 0u);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST_P(ServingBackends, ConservesWorkUnderBackpressure) {
+  ServingConfig cfg = backend_config(0);
+  const double capacity = class_capacity_per_s(cfg, 256);
+  cfg.arrival_rate_per_s = 8 * capacity;
+  cfg.duration_us = 100 * 1e6 / capacity;
+  cfg.queue_capacity = 8;
+  cfg.workload.verify_every = 16;
+  const auto r = ServingRuntime(cfg).run();
+  EXPECT_GT(r.rejected, 0u);
+  EXPECT_GT(r.completed, 0u);
+  expect_work_conserved(r);
+}
+
+TEST_P(ServingBackends, BankFailureRecoveryStillVerifies) {
+  ServingConfig cfg = backend_config(0);
+  const double capacity = class_capacity_per_s(cfg, 256);
+  cfg.arrival_rate_per_s = 1.5 * capacity;
+  cfg.duration_us = 200 * 1e6 / capacity;
+  cfg.fail_bank_at_us = cfg.duration_us / 2;
+  cfg.workload.verify_every = 32;
+  const auto r = ServingRuntime(cfg).run();
+  EXPECT_EQ(r.bank_failures, 1u);
+  expect_work_conserved(r);
+  EXPECT_GT(r.verified, 0u);
+  EXPECT_EQ(r.verify_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GateAndWord, ServingBackends,
+                         ::testing::Values("gate", "word"));
+
+TEST(ServingBackendEquivalence, SameSeedReportsDifferOnlyInBackendField) {
+  // The pin behind the matrix: a gate-tier report and a word-tier report
+  // of the same seeded run are byte-identical except for the `backend`
+  // provenance string. (The analytic tier legitimately differs in the
+  // verified counters — it has no functional results to verify.)
+  ServingConfig cfg = base_config(256, 300);
+  cfg.arrival_rate_per_s = 30000;
+  cfg.workload.verify_every = 4;
+  cfg.backend = "word";
+  const auto word = ServingRuntime(cfg).run();
+  cfg.backend = "gate";
+  const auto gate = ServingRuntime(cfg).run();
+
+  std::string gate_dump = gate.to_json().dump();
+  const std::string from = "\"backend\":\"gate\"";
+  const auto pos = gate_dump.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  gate_dump.replace(pos, from.size(), "\"backend\":\"word\"");
+  EXPECT_EQ(gate_dump, word.to_json().dump());
+}
+
+TEST(ServingBackendEquivalence, UnknownBackendIsRejected) {
+  ServingConfig cfg = base_config(256, 10);
+  cfg.backend = "quantum";
+  EXPECT_THROW(ServingRuntime(cfg).run(), std::invalid_argument);
+}
+
 TEST(Serving, ReportJsonCarriesSchemaAndLatencyQuantiles) {
   ServingConfig cfg = base_config(256, 200);
   cfg.arrival_rate_per_s = 100000;
@@ -480,6 +567,7 @@ TEST(Serving, ReportJsonCarriesSchemaAndLatencyQuantiles) {
   const auto j = r.to_json();
   EXPECT_EQ(j.at("schema").as_string(), "serving/2");
   EXPECT_EQ(j.at("policy").as_string(), "fifo");
+  EXPECT_EQ(j.at("backend").as_string(), "word");  // the default tier
   const auto& lat = j.at("latency");
   EXPECT_GT(lat.at("p99_cycles").as_u64(), 0u);
   EXPECT_GE(lat.at("p99_cycles").as_u64(), lat.at("p50_cycles").as_u64());

@@ -95,6 +95,12 @@ int serve_help() {
          "\n"
          "scheduling:\n"
          "  --policy P           fifo | sjf | edf | wfq (default fifo)\n"
+         "  --backend B          execution backend for verified requests:\n"
+         "                       gate | word | analytic (default word).\n"
+         "                       gate = crossbar simulation (golden, slow),\n"
+         "                       word = host-speed flat-word NTT (bit-exact\n"
+         "                       vs gate), analytic = accounting only (no\n"
+         "                       functional verification)\n"
          "  --queue-capacity C   admission queue bound; arrivals beyond it\n"
          "                       are rejected (default 1024)\n"
          "  --deadline-slack F   deadline = arrival + F x service estimate;\n"
@@ -540,6 +546,7 @@ int cmd_serve(const Options& opt) {
   }
   cp::runtime::ServingConfig cfg;
   cfg.policy = take_value(args, "--policy").value_or("fifo");
+  cfg.backend = take_value(args, "--backend").value_or("word");
   cfg.arrival_rate_per_s =
       take_double(args, "--arrival-rate", 20000.0, 1e-3, 1e12);
   cfg.closed_loop_clients = static_cast<std::uint32_t>(
@@ -615,6 +622,10 @@ int cmd_serve(const Options& opt) {
     throw UsageError("unknown policy '" + cfg.policy + "' (expected one of: "
                      "fifo, sjf, edf, wfq)");
   }
+  if (!cp::runtime::make_backend(cfg.backend)) {
+    throw UsageError("unknown backend '" + cfg.backend +
+                     "' (expected one of: gate, word, analytic)");
+  }
 
   cp::runtime::ServingRuntime rt(cfg);
   cp::obs::EventLog elog;
@@ -640,6 +651,7 @@ int cmd_serve(const Options& opt) {
     std::cout << "\n";
   } else {
     std::cout << "policy:      " << rep.policy << "\n"
+              << "backend:     " << rep.backend << "\n"
               << "horizon:     " << cp::fmt_f(cfg.duration_us) << " us ("
               << cp::fmt_i(rep.duration_cycles) << " cycles)\n"
               << "submitted:   " << cp::fmt_i(rep.submitted) << " ("

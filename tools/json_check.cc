@@ -12,9 +12,10 @@
 // need "trace" and "tenant".
 //
 // --serving: arguments are `serve --json` reports. The document must
-// carry report.schema "serving/2" with the windowed "series" section
-// (schema "timeseries/1"); when an "slo" section is present it must be
-// schema "slo/1" with summary + windows.
+// carry report.schema "serving/2" with a "backend" provenance field
+// (gate | word | analytic) and the windowed "series" section (schema
+// "timeseries/1"); when an "slo" section is present it must be schema
+// "slo/1" with summary + windows.
 //
 // Exit 0 iff every file validates.
 #include <fstream>
@@ -104,6 +105,13 @@ bool check_serving(const std::string& path, const std::string& text) {
   if (!rep.is_object() || !rep.contains("schema") ||
       rep.at("schema").as_string() != "serving/2") {
     return fail(path, "not a serving/2 report");
+  }
+  // Backend provenance: which execution tier produced (and verified)
+  // the functional results this report describes.
+  if (!rep.contains("backend")) return fail(path, "missing 'backend' field");
+  const std::string backend = rep.at("backend").as_string();
+  if (backend != "gate" && backend != "word" && backend != "analytic") {
+    return fail(path, "unknown backend '" + backend + "'");
   }
   if (!rep.contains("series")) return fail(path, "missing 'series' section");
   const Json& series = rep.at("series");

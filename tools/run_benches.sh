@@ -52,6 +52,7 @@ bench_ablation_merged
 bench_fault_campaign
 bench_runtime_service
 bench_chaos_serving
+bench_backend_throughput
 "
 
 failures=0
