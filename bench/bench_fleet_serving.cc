@@ -1,0 +1,229 @@
+// Fleet-serving bench: chip-count scaling, chaos survival and capacity
+// planning for the multi-chip front-end (src/runtime/fleet.*).
+//
+// Three sections, all on the word backend:
+//
+//   scaling   - 1 -> 64 chips, each cell offered 60% of its fleet's
+//               modelled capacity (rate scales with N, duration fixed),
+//               full-width placement (replicas = N) behind the
+//               least-loaded router, so the sweep measures front-end
+//               overhead rather than placement starvation or queueing
+//               collapse. Efficiency = tput(N) / (N * tput(1)).
+//   chaos     - an 8-chip fleet under whole-chip chaos (crashes,
+//               brownouts, corruption storms) with cross-chip retries;
+//               run twice from the same seed to pin determinism.
+//   planning  - chips needed for target offered rates of the mixed
+//               degree mix, provisioning each chip at 80% of modelled
+//               capacity (the rule the scaling section validates).
+//
+// Acceptance bar (exit non-zero on regression):
+//   1. 64-chip throughput >= 0.8x linear scaling from the 1-chip cell,
+//   2. chaos cell: zero corrupt results accepted and >= 99% of
+//      non-rejected requests complete,
+//   3. the two same-seed chaos runs emit byte-identical fleet/1 JSON.
+//
+// Everything is seeded; bench_fleet_serving.json is bit-reproducible.
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/cryptopim.h"
+#include "model/scheduler.h"
+#include "obs/bench_report.h"
+#include "runtime/fleet.h"
+
+namespace cp = cryptopim;
+
+namespace {
+
+const std::vector<cp::runtime::DegreeShare> kMix = {
+    {256, 2.0}, {1024, 1.0}, {4096, 0.5}};
+
+/// Modelled steady-state capacity of ONE chip serving the weighted mix,
+/// requests per second: the harmonic combination of the per-class
+/// capacities (a request stream at rate R with class fractions f_c
+/// saturates when sum_c R*f_c/cap_c == 1).
+double mix_capacity_per_s(const cp::arch::ChipConfig& chip) {
+  double total_w = 0;
+  for (const auto& s : kMix) total_w += s.weight;
+  double inv = 0;
+  for (const auto& s : kMix) {
+    inv += (s.weight / total_w) /
+           cp::model::class_capacity_per_s(chip, s.degree);
+  }
+  return 1.0 / inv;
+}
+
+cp::runtime::FleetConfig fleet_config(std::uint32_t chips, double rate_per_s,
+                                      std::uint64_t seed) {
+  cp::runtime::FleetConfig fc;
+  fc.chips = chips;
+  fc.replicas = 2;
+  fc.chip.workload.mix = kMix;
+  fc.chip.workload.tenants = 8;
+  fc.chip.workload.seed = seed;
+  fc.chip.workload.verify_every = 256;
+  fc.chip.arrival_rate_per_s = rate_per_s;
+  fc.chip.duration_us = 800.0;
+  fc.chip.queue_capacity = 4096;
+  return fc;
+}
+
+std::string json_text(const cp::runtime::FleetReport& r) {
+  std::ostringstream os;
+  r.to_json().write(os);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Fleet serving: scaling, chaos survival, capacity "
+               "planning ==\n(word backend; every cell offered 60% of its "
+               "fleet's modelled capacity)\n\n";
+
+  constexpr std::uint64_t kSeed = 2026;
+  constexpr double kLoad = 0.6;
+  const auto chip = cp::arch::ChipConfig::paper_chip();
+  const double cap1 = mix_capacity_per_s(chip);
+
+  cp::obs::BenchReporter rep("fleet_serving");
+  rep.set_param("seed", std::to_string(kSeed));
+  rep.set_param("load_fraction", "0.6");
+  rep.set_param("mix", "256:2,1024:1,4096:0.5");
+  rep.set_param("duration_us", "800");
+  rep.add("chip_mix_capacity", cap1, "req/s");
+
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  // ---- scaling: 1 -> 64 chips at constant per-chip load -------------------
+  cp::Table t({"chips", "offered/s", "submitted", "completed", "tput/s",
+               "p99 us", "efficiency"});
+  double tput1 = 0;
+  double tput64 = 0;
+  for (const std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double rate = kLoad * n * cap1;
+    auto fc = fleet_config(n, rate, kSeed);
+    // Full-width placement + least-loaded routing: every class may land
+    // on every chip, so added chips add capacity. Narrow placement
+    // (replicas << N) trades this headroom for blast-radius isolation.
+    fc.replicas = n;
+    fc.router = "least";
+    const auto r = cp::runtime::FleetRuntime(std::move(fc)).run();
+    if (n == 1) tput1 = r.throughput_per_s;
+    if (n == 64) tput64 = r.throughput_per_s;
+    const double eff =
+        tput1 > 0 ? r.throughput_per_s / (n * tput1) : 0.0;
+    const cp::obs::BenchReporter::Params p = {{"chips", std::to_string(n)}};
+    rep.add("throughput", r.throughput_per_s, "req/s", p);
+    rep.add("completed", static_cast<double>(r.completed), "requests", p);
+    rep.add("latency_p99",
+            r.latency_cycles.quantile(0.99) / r.cycles_per_us, "us", p);
+    rep.add("scaling_efficiency", eff, "ratio", p);
+    t.add_row({cp::fmt_i(n), cp::fmt_i(static_cast<std::uint64_t>(rate)),
+               cp::fmt_i(r.submitted), cp::fmt_i(r.completed),
+               cp::fmt_i(static_cast<std::uint64_t>(r.throughput_per_s)),
+               cp::fmt_f(r.latency_cycles.quantile(0.99) / r.cycles_per_us,
+                         1),
+               cp::fmt_pct(eff, 1)});
+  }
+  t.print(std::cout);
+  if (tput64 < 0.8 * 64.0 * tput1) {
+    ok = false;
+    violations.push_back(
+        "64-chip throughput " + cp::fmt_i(static_cast<std::uint64_t>(tput64)) +
+        " req/s < 0.8x linear from 1 chip (" +
+        cp::fmt_i(static_cast<std::uint64_t>(64.0 * tput1)) + " req/s)");
+  }
+
+  // ---- chaos: whole-chip episodes against the drain/re-shard machinery ----
+  std::cout << "\nchaos: 8 chips, whole-chip crash/brownout/corruption-storm\n"
+               "episodes, cross-chip retries + lane retries, run twice from\n"
+               "the same seed:\n";
+  auto chaos_cfg = fleet_config(8, kLoad * 8 * cap1, kSeed);
+  chaos_cfg.replicas = 3;
+  chaos_cfg.chip.duration_us = 1500.0;
+  chaos_cfg.chaos.enabled = true;
+  chaos_cfg.chaos.seed = kSeed;
+  chaos_cfg.chaos.mean_interval_us = 400.0;
+  chaos_cfg.chaos.mean_duration_us = 200.0;
+  chaos_cfg.max_retries = 3;
+  chaos_cfg.retry_budget_ratio = 1.0;
+  chaos_cfg.chip.resilience.max_retries = 2;
+  const auto ca = cp::runtime::FleetRuntime(chaos_cfg).run();
+  const auto cb = cp::runtime::FleetRuntime(chaos_cfg).run();
+
+  std::uint64_t wrong = 0;
+  for (const auto& c : ca.chip_reports) wrong += c.resilience.wrong_accepted;
+  const std::uint64_t non_rejected = ca.submitted - ca.rejected - ca.shed;
+  const double complete_frac =
+      non_rejected ? static_cast<double>(ca.completed) / non_rejected : 1.0;
+
+  cp::Table ct({"episodes", "crashes", "brownouts", "storms", "migrated",
+                "redispatched", "x-retries", "complete", "wrong"});
+  ct.add_row({cp::fmt_i(ca.crashes + ca.brownouts + ca.corruption_storms),
+              cp::fmt_i(ca.crashes), cp::fmt_i(ca.brownouts),
+              cp::fmt_i(ca.corruption_storms), cp::fmt_i(ca.migrated),
+              cp::fmt_i(ca.redispatched), cp::fmt_i(ca.cross_retries),
+              cp::fmt_pct(complete_frac, 2), cp::fmt_i(wrong)});
+  ct.print(std::cout);
+
+  const cp::obs::BenchReporter::Params cp_ = {{"cell", "chaos"}};
+  rep.add("chaos_episodes",
+          static_cast<double>(ca.crashes + ca.brownouts +
+                              ca.corruption_storms),
+          "events", cp_);
+  rep.add("chaos_crashes", static_cast<double>(ca.crashes), "events", cp_);
+  rep.add("chaos_migrated", static_cast<double>(ca.migrated), "requests",
+          cp_);
+  rep.add("chaos_redispatched", static_cast<double>(ca.redispatched),
+          "requests", cp_);
+  rep.add("chaos_cross_retries", static_cast<double>(ca.cross_retries),
+          "requests", cp_);
+  rep.add("chaos_complete_frac", complete_frac, "ratio", cp_);
+  rep.add("chaos_wrong_accepted", static_cast<double>(wrong), "results", cp_);
+
+  if (wrong != 0) {
+    ok = false;
+    violations.push_back(std::to_string(wrong) +
+                         " corrupt result(s) accepted under chaos");
+  }
+  if (complete_frac < 0.99) {
+    ok = false;
+    violations.push_back("chaos completion " +
+                         cp::fmt_f(100.0 * complete_frac, 2) +
+                         "% of non-rejected (< 99%)");
+  }
+  if (json_text(ca) != json_text(cb)) {
+    ok = false;
+    violations.push_back("same-seed chaos fleets emitted different JSON");
+  }
+
+  // ---- capacity planning: chips for a target offered rate -----------------
+  std::cout << "\ncapacity planning: chips needed for the mixed degree mix,\n"
+               "provisioning each chip at 80% of its modelled capacity ("
+            << cp::fmt_i(static_cast<std::uint64_t>(cap1)) << " req/s):\n";
+  cp::Table pt({"target req/s", "chips needed", "fleet headroom"});
+  for (const double target : {50e3, 250e3, 1e6, 5e6, 20e6}) {
+    const auto chips = static_cast<std::uint64_t>(
+        std::ceil(target / (0.8 * cap1)));
+    const double headroom = chips * cap1 / target;
+    pt.add_row({cp::fmt_i(static_cast<std::uint64_t>(target)),
+                cp::fmt_i(chips), cp::fmt_f(headroom, 2) + "x"});
+    rep.add("chips_needed", static_cast<double>(chips), "chips",
+            {{"target_per_s", cp::fmt_i(static_cast<std::uint64_t>(target))}});
+  }
+  pt.print(std::cout);
+
+  if (!ok) {
+    std::cout << "\nACCEPTANCE VIOLATIONS:\n";
+    for (const auto& v : violations) std::cout << "  - " << v << "\n";
+  }
+  rep.write_default();
+  return ok ? 0 : 1;
+}

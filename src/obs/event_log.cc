@@ -14,7 +14,7 @@ void EventLog::log(Json record) {
 std::string EventLog::to_jsonl() const {
   std::ostringstream os;
   Json header = Json::object();
-  header.set("schema", "serve-events/1");
+  header.set("schema", "serve-events/2");
   header.set("records", static_cast<std::uint64_t>(records_.size()));
   os << header.dump() << '\n';
   for (const Json& r : records_) os << r.dump() << '\n';

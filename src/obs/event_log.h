@@ -4,8 +4,14 @@
 // (admitted, dispatched, retry, hedge, completed, ...) as an obs::Json
 // object. The log buffers records in arrival order and serializes them
 // as JSON Lines: one compact JSON object per line, preceded by a header
-// line {"schema":"serve-events/1",...}. JSONL keeps the file greppable
+// line {"schema":"serve-events/2",...}. JSONL keeps the file greppable
 // and streamable — consumers never need the whole log in memory.
+//
+// Schema history: serve-events/2 added a "chip" field to every record
+// (control records included) so one log can interleave the lifecycle
+// streams of a whole fleet; trace ids stay stable across cross-chip
+// retries and hedges, so a request's causal chain reads across chips.
+// tools/json_check --events accepts both versions.
 //
 // Like the Tracer, the log is disabled by default so the emit sites can
 // stay unconditional in the runtime; a disabled log drops records at

@@ -7,6 +7,16 @@
 // is what makes the whole simulation deterministic: two runs with the
 // same seed schedule the same events in the same order and therefore
 // produce bit-identical reports.
+//
+// Fleet serving merges N of these clocks (one per chip, plus one for the
+// fleet's own control events) into a single timeline. The merge is only
+// deterministic if same-cycle events of *different* chips have a total
+// order too, so each queue can carry a chip namespace: the chip id is
+// folded into the high bits of every sequence number it assigns. Within
+// one queue the namespace is a constant prefix (ordering unchanged);
+// across queues, (cycle, seq) becomes a strict total order with the chip
+// id as the same-cycle tie-break — which is what makes same-seed fleet
+// reports byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,14 @@ enum class EventKind : std::uint8_t {
   kHedge,         ///< straggler check: duplicate onto a second lane
   kHealth,        ///< periodic health-monitor tick (scrubs, metrics)
   kChaos,         ///< a chaos fault episode strikes a lane
+  // -- fleet layer (scheduled only by runtime::FleetRuntime; a chip's
+  // own event loop never sees these) ----------------------------------------
+  kFleetArrival,     ///< a request enters the fleet front-end router
+  kFleetRetry,       ///< a backed-off cross-chip retry re-dispatches
+  kFleetHedgeCheck,  ///< straggler check: duplicate onto a replica chip
+  kFleetHealth,      ///< periodic chip-health tick (drain, scrub, rejoin)
+  kFleetChaos,       ///< a whole-chip chaos episode strikes
+  kFleetChipUp,      ///< a drained/crashed chip finished scrubbing: rejoin
 };
 
 struct Event {
@@ -41,17 +59,30 @@ struct Event {
 
 class EventQueue {
  public:
+  /// Bit position of the chip namespace in assigned sequence numbers:
+  /// the low 40 bits count pushes (~10^12 per chip — far beyond any
+  /// simulated run), the bits above carry the chip id.
+  static constexpr unsigned kChipShift = 40;
+
   /// `first_seq` seeds the tie-breaking sequence counter; the default is
   /// what the runtime uses. A non-zero start exists for tests probing
   /// ordering stability near the counter's (unreachable in practice —
-  /// ~1.8e19 pushes) wrap-around.
-  explicit EventQueue(std::uint64_t first_seq = 0) : next_seq_(first_seq) {}
+  /// ~1.8e19 pushes) wrap-around. `chip` is the queue's namespace: it is
+  /// folded into the high bits of every assigned seq so same-cycle
+  /// events of different chips still compare deterministically when a
+  /// fleet merges several queues into one timeline.
+  explicit EventQueue(std::uint64_t first_seq = 0, std::uint32_t chip = 0)
+      : next_seq_(first_seq),
+        chip_bits_(static_cast<std::uint64_t>(chip) << kChipShift) {}
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
+  std::uint32_t chip() const noexcept {
+    return static_cast<std::uint32_t>(chip_bits_ >> kChipShift);
+  }
 
   void push(Event e) {
-    e.seq = next_seq_++;
+    e.seq = chip_bits_ | next_seq_++;
     heap_.push(std::move(e));
   }
 
@@ -74,6 +105,7 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t chip_bits_ = 0;  ///< chip id pre-shifted into seq position
 };
 
 }  // namespace cryptopim::runtime

@@ -1,0 +1,714 @@
+#include "runtime/fleet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cryptopim::runtime {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Consistent hashing over the candidate set: each chip projects
+/// kVnodes virtual nodes onto the hash circle and a request's tenant
+/// key lands on the next vnode clockwise. A chip leaving only remaps
+/// the keys that landed on its own vnodes — tenants stick to "their"
+/// replica across unrelated membership churn.
+class HashRouter final : public Router {
+ public:
+  static constexpr unsigned kVnodes = 16;
+  const char* name() const noexcept override { return "hash"; }
+  std::uint32_t pick(const Request& r,
+                     const std::vector<ChipView>& c) override {
+    const std::uint64_t key = splitmix64(r.tenant * 0x9e3779b9ULL + 1);
+    std::uint32_t best = c.front().id;
+    std::uint64_t best_h = 0;
+    bool wrapped = true;  // until a vnode >= key is found, track the min
+    std::uint64_t min_h = ~std::uint64_t{0};
+    std::uint32_t min_id = c.front().id;
+    for (const ChipView& v : c) {
+      for (unsigned k = 0; k < kVnodes; ++k) {
+        const std::uint64_t h =
+            splitmix64((std::uint64_t{v.id} << 8) * 131 + k * 1009 + 7);
+        if (h < min_h) {
+          min_h = h;
+          min_id = v.id;
+        }
+        if (h >= key && (wrapped || h < best_h)) {
+          wrapped = false;
+          best_h = h;
+          best = v.id;
+        }
+      }
+    }
+    return wrapped ? min_id : best;
+  }
+};
+
+/// Least-loaded: fewest queued + in-flight requests, lowest id on ties.
+class LeastLoadedRouter final : public Router {
+ public:
+  const char* name() const noexcept override { return "least"; }
+  std::uint32_t pick(const Request&,
+                     const std::vector<ChipView>& c) override {
+    const ChipView* best = &c.front();
+    for (const ChipView& v : c) {
+      const std::size_t load = v.queue_depth + v.in_flight;
+      const std::size_t best_load = best->queue_depth + best->in_flight;
+      if (load < best_load || (load == best_load && v.id < best->id)) {
+        best = &v;
+      }
+    }
+    return best->id;
+  }
+};
+
+/// Degree affinity: always the class's first live placement (the
+/// primary while it is up), so each degree class concentrates on few
+/// chips and lane carving churn stays minimal.
+class AffinityRouter final : public Router {
+ public:
+  const char* name() const noexcept override { return "affinity"; }
+  std::uint32_t pick(const Request&,
+                     const std::vector<ChipView>& c) override {
+    return c.front().id;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  if (name == "hash") return std::make_unique<HashRouter>();
+  if (name == "least") return std::make_unique<LeastLoadedRouter>();
+  if (name == "affinity") return std::make_unique<AffinityRouter>();
+  return nullptr;
+}
+
+// -- report -------------------------------------------------------------------
+
+obs::Json FleetReport::to_json() const {
+  obs::Json j = obs::Json::object();
+  j.set("schema", "fleet/1");
+  j.set("fleet", std::uint64_t{chips});
+  j.set("router", router);
+  j.set("replicas", std::uint64_t{replicas});
+  j.set("duration_cycles", duration_cycles);
+  j.set("drain_cycle", drain_cycle);
+  j.set("submitted", submitted);
+  j.set("completed", completed);
+  j.set("rejected", rejected);
+  j.set("shed", shed);
+  j.set("timed_out", timed_out);
+  j.set("failed", failed);
+  j.set("queued", queued);
+  j.set("routed", routed);
+  j.set("reshards", reshards);
+  j.set("parked", parked);
+  j.set("cross_retries", cross_retries);
+  j.set("retry_budget_denied", retry_budget_denied);
+  j.set("hedges_launched", hedges_launched);
+  j.set("hedge_wasted", hedge_wasted);
+  j.set("drains", drains);
+  j.set("crashes", crashes);
+  j.set("brownouts", brownouts);
+  j.set("corruption_storms", corruption_storms);
+  j.set("rejoins", rejoins);
+  j.set("migrated", migrated);
+  j.set("redispatched", redispatched);
+  obs::Json lat = obs::Json::object();
+  lat.set("count", latency_cycles.count());
+  lat.set("mean_cycles", latency_cycles.mean());
+  lat.set("p50_cycles", latency_cycles.quantile(0.50));
+  lat.set("p99_cycles", latency_cycles.quantile(0.99));
+  lat.set("p999_cycles", latency_cycles.quantile(0.999));
+  lat.set("p50_us",
+          static_cast<double>(latency_cycles.quantile(0.50)) / cycles_per_us);
+  lat.set("p99_us",
+          static_cast<double>(latency_cycles.quantile(0.99)) / cycles_per_us);
+  lat.set("max_cycles", latency_cycles.max());
+  j.set("latency", std::move(lat));
+  j.set("throughput_per_s", throughput_per_s);
+  j.set("offered_per_s", offered_per_s);
+  obs::Json per_chip = obs::Json::array();
+  for (const ServingReport& r : chip_reports) per_chip.push_back(r.to_json());
+  j.set("chips", std::move(per_chip));
+  return j;
+}
+
+// -- runtime ------------------------------------------------------------------
+
+struct FleetRuntime::ChipState {
+  enum class State : std::uint8_t { kUp, kScrubbing, kDown };
+  State state = State::kUp;
+  // Health window: terminal outcomes since the last health tick.
+  std::uint64_t outcomes = 0;
+  std::uint64_t failures = 0;
+};
+
+/// One fleet-visible request from arrival to its final fate. `live`
+/// counts active chip submissions (initial route, cross-retries, fleet
+/// hedges each add one; every submission either reports a terminal
+/// outcome or is reclaimed by a drain/crash). The entry is erased once
+/// done (or terminally failed) and no submission is still running.
+struct FleetRuntime::Outstanding {
+  Request original;
+  unsigned attempts = 0;  ///< cross-chip re-dispatches consumed
+  unsigned live = 0;
+  bool done = false;
+  Outcome last_bad = Outcome::kFailed;
+  std::uint64_t last_dispatch_cycle = 0;
+  std::uint32_t last_chip = 0;
+};
+
+FleetRuntime::FleetRuntime(FleetConfig cfg)
+    : cfg_(std::move(cfg)), fleet_q_(0, cfg_.chips) {}
+FleetRuntime::~FleetRuntime() = default;
+
+void FleetRuntime::set_event_log(obs::EventLog* log) noexcept {
+  event_log_ = log;
+}
+
+std::size_t FleetRuntime::class_index(std::uint32_t degree) const {
+  const auto& mix = cfg_.chip.workload.mix;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    if (mix[i].degree == degree) return i;
+  }
+  return 0;  // unreachable: requests are sampled from the mix
+}
+
+void FleetRuntime::prime() {
+  if (cfg_.chips == 0) throw std::invalid_argument("fleet needs >= 1 chip");
+  if (cfg_.chip.closed_loop_clients > 0) {
+    throw std::invalid_argument("fleet serving is open-loop only");
+  }
+  router_ = make_router(cfg_.router);
+  if (!router_) throw std::invalid_argument("unknown router: " + cfg_.router);
+  cfg_.replicas = std::max<std::uint32_t>(
+      1, std::min(cfg_.replicas, cfg_.chips));
+
+  const double cyc_per_us = cfg_.chip.cycles_per_us();
+  horizon_ = static_cast<std::uint64_t>(cfg_.chip.duration_us * cyc_per_us);
+
+  report_ = FleetReport{};
+  report_.chips = cfg_.chips;
+  report_.router = cfg_.router;
+  report_.replicas = cfg_.replicas;
+  report_.duration_cycles = horizon_;
+  report_.cycles_per_us = cyc_per_us;
+
+  if (event_log_) event_log_->clear();
+
+  chips_.clear();
+  states_.assign(cfg_.chips, ChipState{});
+  for (std::uint32_t i = 0; i < cfg_.chips; ++i) {
+    ServingConfig cc = cfg_.chip;
+    cc.chip_id = i;
+    cc.external_arrivals = true;
+    // De-correlate per-lane chaos across chips: with one shared seed every
+    // chip would strike in lockstep, defeating replication.
+    if (cc.resilience.chaos.enabled) cc.resilience.chaos.seed += i;
+    auto chip = std::make_unique<ServingRuntime>(std::move(cc));
+    chip->set_event_log(event_log_);
+    chip->set_outcome_sink(
+        [this, i](const Request& r, Outcome o, std::uint64_t cycle) {
+          on_outcome(i, r, o, cycle);
+        });
+    chip->prime();
+    chips_.push_back(std::move(chip));
+  }
+
+  shard_map_.assign(cfg_.chip.workload.mix.size(), {});
+  rebuild_shard_map(/*trigger_chip=*/0);
+  report_.reshards = 0;  // the initial build is placement, not a re-shard
+
+  const std::uint32_t tenants =
+      std::max<std::uint32_t>(cfg_.chip.workload.tenants, 1);
+  retry_budget_ =
+      std::make_unique<RetryBudget>(tenants, cfg_.retry_budget_ratio);
+  service_hist_ = obs::Histogram{};
+  chaos_rng_ = Xoshiro256(cfg_.chaos.seed);
+
+  const double rate_per_cycle =
+      cfg_.chip.arrival_rate_per_s / (1e9 / cfg_.chip.cycle_ns);
+  if (rate_per_cycle <= 0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  workload_ = std::make_unique<OpenLoopPoisson>(cfg_.chip.workload,
+                                                rate_per_cycle, horizon_);
+  for (const auto& a : workload_->initial()) {
+    Event e;
+    e.cycle = a.cycle;
+    e.kind = EventKind::kFleetArrival;
+    e.request = a.request;
+    fleet_q_.push(std::move(e));
+  }
+
+  if (cfg_.chaos.enabled) arm_chaos_episode();
+  if (cfg_.kill_chip_at_us > 0 && cfg_.kill_chip < cfg_.chips) {
+    Event e;
+    e.cycle = static_cast<std::uint64_t>(cfg_.kill_chip_at_us * cyc_per_us);
+    e.kind = EventKind::kFleetChaos;
+    e.dispatch_id = std::uint64_t{cfg_.kill_chip} + 1;  // forced crash marker
+    fleet_q_.push(std::move(e));
+  }
+  arm_health_tick();
+}
+
+void FleetRuntime::main_loop() {
+  // Merge N+1 event queues into one timeline: pop whichever holds the
+  // globally earliest (cycle, chip-namespaced seq) event. The namespace
+  // makes the comparison a strict total order, so the interleaving —
+  // and therefore every counter and record — is deterministic.
+  for (;;) {
+    int best = -2;  // -1 = fleet queue, >= 0 = chip index
+    std::uint64_t best_cycle = 0, best_seq = 0;
+    if (!fleet_q_.empty()) {
+      best = -1;
+      best_cycle = fleet_q_.peek().cycle;
+      best_seq = fleet_q_.peek().seq;
+    }
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+      if (!chips_[i]->has_events()) continue;
+      const std::uint64_t c = chips_[i]->next_event_cycle();
+      const std::uint64_t s = chips_[i]->next_event_seq();
+      if (best == -2 || c < best_cycle ||
+          (c == best_cycle && s < best_seq)) {
+        best = static_cast<int>(i);
+        best_cycle = c;
+        best_seq = s;
+      }
+    }
+    if (best == -2) break;
+    now_ = std::max(now_, best_cycle);
+    report_.drain_cycle = std::max(report_.drain_cycle, best_cycle);
+    if (best == -1) {
+      handle_fleet_event(fleet_q_.pop());
+    } else {
+      chips_[static_cast<std::size_t>(best)]->step();
+    }
+  }
+}
+
+FleetReport FleetRuntime::run() {
+  prime();
+  main_loop();
+  return seal();
+}
+
+FleetReport FleetRuntime::seal() {
+  // Unresolved requests (parked with every candidate down, or stranded
+  // in a starved chip queue) surface as fleet `queued`.
+  for (const auto& [id, ent] : outstanding_) {
+    if (!ent.done) report_.queued += 1;
+  }
+  outstanding_.clear();
+  parked_.clear();
+  for (auto& chip : chips_) report_.chip_reports.push_back(chip->seal());
+  if (report_.drain_cycle > 0) {
+    const double drain_s = static_cast<double>(report_.drain_cycle) *
+                           cfg_.chip.cycle_ns * 1e-9;
+    report_.throughput_per_s =
+        static_cast<double>(report_.completed) / drain_s;
+  }
+  if (horizon_ > 0) {
+    report_.offered_per_s =
+        static_cast<double>(report_.submitted) /
+        (static_cast<double>(horizon_) * cfg_.chip.cycle_ns * 1e-9);
+  }
+  return report_;
+}
+
+void FleetRuntime::handle_fleet_event(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kFleetArrival: handle_fleet_arrival(e); break;
+    case EventKind::kFleetRetry: handle_fleet_retry(e); break;
+    case EventKind::kFleetHedgeCheck: handle_hedge_check(e); break;
+    case EventKind::kFleetHealth: handle_fleet_health(); break;
+    case EventKind::kFleetChaos: handle_fleet_chaos(e); break;
+    case EventKind::kFleetChipUp: handle_chip_up(e); break;
+    default: break;  // chip kinds never reach the fleet queue
+  }
+}
+
+void FleetRuntime::handle_fleet_arrival(const Event& e) {
+  report_.submitted += 1;
+  // Chain the next arrival before routing: backpressure anywhere in the
+  // fleet never throttles the offered stream.
+  Arrival this_arrival{e.cycle, e.request};
+  if (auto next = workload_->next_after_arrival(this_arrival)) {
+    Event ne;
+    ne.cycle = next->cycle;
+    ne.kind = EventKind::kFleetArrival;
+    ne.request = next->request;
+    fleet_q_.push(std::move(ne));
+  }
+  retry_budget_->on_admitted(e.request.tenant);
+  Outstanding ent;
+  ent.original = e.request;
+  outstanding_.emplace(e.request.id, std::move(ent));
+  dispatch_to_fleet(e.request, /*first=*/true);
+}
+
+std::vector<ChipView> FleetRuntime::candidates_for(
+    std::uint32_t degree) const {
+  std::vector<ChipView> out;
+  for (const std::uint32_t id : shard_map_[class_index(degree)]) {
+    if (states_[id].state != ChipState::State::kUp) continue;
+    out.push_back(ChipView{id, chips_[id]->pending_count(),
+                           chips_[id]->in_flight_count()});
+  }
+  return out;
+}
+
+bool FleetRuntime::dispatch_to_fleet(const Request& r, bool first) {
+  const auto candidates = candidates_for(r.degree);
+  if (candidates.empty()) {
+    parked_.push_back(r);
+    report_.parked += 1;
+    return false;
+  }
+  const std::uint32_t target = router_->pick(r, candidates);
+  auto& ent = outstanding_.at(r.id);
+  ent.live += 1;
+  ent.last_chip = target;
+  ent.last_dispatch_cycle = now_;
+  chips_[target]->inject(r, now_);
+  if (first) {
+    report_.routed += 1;
+    if (elog_on()) {
+      obs::Json rec = obs::Json::object();
+      rec.set("ev", "route");
+      rec.set("cycle", now_);
+      rec.set("chip", std::uint64_t{target});
+      rec.set("trace", r.id);
+      rec.set("tenant", std::uint64_t{r.tenant});
+      event_log_->log(std::move(rec));
+    }
+    if (cfg_.hedge) {
+      const std::uint64_t delay = hedge_delay_cycles();
+      if (delay > 0) {
+        Event he;
+        he.cycle = now_ + delay;
+        he.kind = EventKind::kFleetHedgeCheck;
+        he.dispatch_id = r.id;
+        fleet_q_.push(std::move(he));
+      }
+    }
+  }
+  return true;
+}
+
+void FleetRuntime::on_outcome(std::uint32_t chip, const Request& r, Outcome o,
+                              std::uint64_t cycle) {
+  auto it = outstanding_.find(r.id);
+  if (it == outstanding_.end()) return;  // stale duplicate, already settled
+  Outstanding& ent = it->second;
+  ChipState& cs = states_[chip];
+  cs.outcomes += 1;
+  cs.failures += o != Outcome::kCompleted;
+  service_hist_.add(cycle >= ent.last_dispatch_cycle
+                        ? cycle - ent.last_dispatch_cycle
+                        : 0);
+  if (ent.live > 0) ent.live -= 1;
+
+  if (ent.done) {
+    // A fleet-hedge duplicate finishing after the winner: wasted work.
+    if (o == Outcome::kCompleted) report_.hedge_wasted += 1;
+    if (ent.live == 0) outstanding_.erase(it);
+    return;
+  }
+  if (o == Outcome::kCompleted) {
+    ent.done = true;
+    report_.completed += 1;
+    report_.latency_cycles.add(cycle - ent.original.arrival_cycle);
+    if (ent.live == 0) outstanding_.erase(it);
+    return;
+  }
+  ent.last_bad = o;
+  if (ent.live > 0) return;  // a hedge twin is still running; wait for it
+
+  // Cross-chip retry: re-dispatch the original onto another chip under
+  // the fleet budget, backing off exponentially per attempt.
+  if (ent.attempts < cfg_.max_retries) {
+    if (retry_budget_->try_spend(r.tenant)) {
+      ent.attempts += 1;
+      report_.cross_retries += 1;
+      std::uint64_t backoff = cfg_.retry_backoff_cycles;
+      for (unsigned a = 1; a < ent.attempts && backoff < (1u << 20); ++a) {
+        backoff <<= 1;
+      }
+      Event re;
+      re.cycle = cycle + backoff;
+      re.kind = EventKind::kFleetRetry;
+      re.request = ent.original;
+      fleet_q_.push(std::move(re));
+      return;
+    }
+    report_.retry_budget_denied += 1;
+  }
+  // Out of retries: the request's fate is its last bad outcome.
+  switch (ent.last_bad) {
+    case Outcome::kRejected: report_.rejected += 1; break;
+    case Outcome::kShed: report_.shed += 1; break;
+    case Outcome::kTimedOut: report_.timed_out += 1; break;
+    default: report_.failed += 1; break;
+  }
+  outstanding_.erase(it);
+}
+
+void FleetRuntime::handle_fleet_retry(const Event& e) {
+  const auto it = outstanding_.find(e.request.id);
+  if (it == outstanding_.end() || it->second.done) return;
+  if (dispatch_to_fleet(e.request, /*first=*/false) && elog_on()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("ev", "fleet_retry");
+    rec.set("cycle", now_);
+    rec.set("chip", std::uint64_t{it->second.last_chip});
+    rec.set("trace", e.request.id);
+    rec.set("tenant", std::uint64_t{e.request.tenant});
+    rec.set("attempt", std::uint64_t{it->second.attempts});
+    event_log_->log(std::move(rec));
+  }
+}
+
+void FleetRuntime::handle_hedge_check(const Event& e) {
+  const auto it = outstanding_.find(e.dispatch_id);
+  if (it == outstanding_.end()) return;  // settled before the check
+  Outstanding& ent = it->second;
+  if (ent.done || ent.live != 1) return;
+  // Duplicate onto a *different* up chip; first outcome wins.
+  auto candidates = candidates_for(ent.original.degree);
+  std::erase_if(candidates,
+                [&](const ChipView& v) { return v.id == ent.last_chip; });
+  if (candidates.empty()) return;
+  const std::uint32_t target = router_->pick(ent.original, candidates);
+  ent.live += 1;
+  ent.last_dispatch_cycle = now_;
+  chips_[target]->inject(ent.original, now_);
+  report_.hedges_launched += 1;
+  if (elog_on()) {
+    obs::Json rec = obs::Json::object();
+    rec.set("ev", "fleet_hedge");
+    rec.set("cycle", now_);
+    rec.set("chip", std::uint64_t{target});
+    rec.set("trace", ent.original.id);
+    rec.set("tenant", std::uint64_t{ent.original.tenant});
+    event_log_->log(std::move(rec));
+  }
+}
+
+void FleetRuntime::handle_fleet_health() {
+  health_armed_ = false;
+  for (std::uint32_t i = 0; i < cfg_.chips; ++i) {
+    ChipState& cs = states_[i];
+    if (cs.state != ChipState::State::kUp) continue;
+    if (cs.outcomes >= cfg_.health_min_samples &&
+        static_cast<double>(cs.failures) >
+            cfg_.fail_rate_threshold * static_cast<double>(cs.outcomes)) {
+      drain_chip(i, "health");
+    }
+    cs.outcomes = 0;
+    cs.failures = 0;
+  }
+  // Keep ticking while anything can still change: arrivals due, work in
+  // flight, or a chip still out of the fleet (its rejoin re-shards).
+  // Queued-but-starved work alone is not liveness — ticking for it would
+  // spin forever; seal() surfaces it as fleet `queued` instead.
+  bool any_out = false;
+  for (const ChipState& cs : states_) {
+    any_out = any_out || cs.state != ChipState::State::kUp;
+  }
+  std::size_t busy = 0;
+  for (const auto& chip : chips_) busy += chip->in_flight_count();
+  if (now_ < horizon_ || any_out || busy > 0) arm_health_tick();
+}
+
+void FleetRuntime::handle_fleet_chaos(const Event& e) {
+  if (e.dispatch_id > 0) {
+    // The deterministic kill hook: forced crash, no RNG involved.
+    const auto chip = static_cast<std::uint32_t>(e.dispatch_id - 1);
+    if (states_[chip].state == ChipState::State::kUp) crash_chip(chip);
+    return;
+  }
+  // Draw the episode shape unconditionally so the RNG stream is stable
+  // regardless of how many chips happen to be up.
+  const double which = uniform_unit(chaos_rng_);
+  const double kind = uniform_unit(chaos_rng_);
+  const std::uint64_t dur = exponential_cycles(
+      chaos_rng_, cfg_.chaos.mean_duration_us * cfg_.chip.cycles_per_us());
+  std::vector<std::uint32_t> up;
+  for (std::uint32_t i = 0; i < cfg_.chips; ++i) {
+    if (states_[i].state == ChipState::State::kUp) up.push_back(i);
+  }
+  if (!up.empty()) {
+    const std::uint32_t chip =
+        up[static_cast<std::size_t>(which * static_cast<double>(up.size())) %
+           up.size()];
+    if (kind < cfg_.chaos.crash_fraction) {
+      crash_chip(chip);
+    } else if (kind < cfg_.chaos.crash_fraction + cfg_.chaos.brownout_fraction) {
+      chips_[chip]->slow_down(now_ + dur, cfg_.chaos.slow_factor);
+      report_.brownouts += 1;
+      log_control("chip_brownout", chip);
+    } else {
+      chips_[chip]->corrupt_window(now_ + dur);
+      report_.corruption_storms += 1;
+      log_control("chip_corruption_storm", chip);
+    }
+  }
+  arm_chaos_episode();
+}
+
+void FleetRuntime::drain_chip(std::uint32_t chip, const char*) {
+  states_[chip].state = ChipState::State::kScrubbing;
+  report_.drains += 1;
+  log_control("chip_drain", chip);
+  std::vector<Request> work = chips_[chip]->extract_pending();
+  report_.migrated += work.size();
+  rebuild_shard_map(chip);
+  redispatch_all(std::move(work));
+  schedule_rejoin(chip);
+}
+
+void FleetRuntime::crash_chip(std::uint32_t chip) {
+  states_[chip].state = ChipState::State::kDown;
+  report_.crashes += 1;
+  log_control("chip_crash", chip);
+  std::vector<Request> work = chips_[chip]->crash_chip();
+  rebuild_shard_map(chip);
+  redispatch_all(std::move(work));
+  schedule_rejoin(chip);
+}
+
+void FleetRuntime::redispatch_all(std::vector<Request> work) {
+  // Reclaimed submissions report no outcome; settle the live count here
+  // and re-route (budget-free: migration is the fleet's fault, not the
+  // request's). A request whose hedge twin still runs elsewhere needs no
+  // replacement — the twin covers it.
+  for (Request& r : work) {
+    const auto it = outstanding_.find(r.id);
+    if (it == outstanding_.end()) continue;
+    Outstanding& ent = it->second;
+    if (ent.live > 0) ent.live -= 1;
+    if (ent.done) {
+      if (ent.live == 0) outstanding_.erase(it);
+      continue;
+    }
+    if (ent.live > 0) continue;  // twin still running
+    if (dispatch_to_fleet(r, /*first=*/false)) {
+      report_.redispatched += 1;
+      if (elog_on()) {
+        obs::Json rec = obs::Json::object();
+        rec.set("ev", "migrate");
+        rec.set("cycle", now_);
+        rec.set("chip", std::uint64_t{ent.last_chip});
+        rec.set("trace", r.id);
+        rec.set("tenant", std::uint64_t{r.tenant});
+        event_log_->log(std::move(rec));
+      }
+    }
+  }
+}
+
+void FleetRuntime::schedule_rejoin(std::uint32_t chip) {
+  Event e;
+  e.cycle = now_ + std::max<std::uint64_t>(
+                       1, static_cast<std::uint64_t>(
+                              cfg_.scrub_us * cfg_.chip.cycles_per_us()));
+  e.kind = EventKind::kFleetChipUp;
+  e.dispatch_id = chip;
+  fleet_q_.push(std::move(e));
+}
+
+void FleetRuntime::handle_chip_up(const Event& e) {
+  const auto chip = static_cast<std::uint32_t>(e.dispatch_id);
+  if (states_[chip].state == ChipState::State::kDown) {
+    chips_[chip]->revive(now_);
+  }
+  states_[chip].state = ChipState::State::kUp;
+  states_[chip].outcomes = 0;
+  states_[chip].failures = 0;
+  report_.rejoins += 1;
+  log_control("chip_rejoin", chip);
+  rebuild_shard_map(chip);
+  // Anything parked while every candidate was out gets another chance.
+  std::vector<Request> stranded;
+  stranded.swap(parked_);
+  for (Request& r : stranded) {
+    const auto it = outstanding_.find(r.id);
+    if (it == outstanding_.end() || it->second.done) continue;
+    if (dispatch_to_fleet(r, /*first=*/false)) report_.redispatched += 1;
+  }
+}
+
+void FleetRuntime::rebuild_shard_map(std::uint32_t trigger_chip) {
+  std::vector<std::uint32_t> up;
+  for (std::uint32_t i = 0; i < cfg_.chips; ++i) {
+    if (states_[i].state == ChipState::State::kUp) up.push_back(i);
+  }
+  for (std::size_t c = 0; c < shard_map_.size(); ++c) {
+    shard_map_[c].clear();
+    if (up.empty()) continue;
+    const std::size_t width =
+        std::min<std::size_t>(cfg_.replicas, up.size());
+    // Class-staggered placement: primaries rotate across the fleet so no
+    // chip is primary for every class; replicas are the next chips round
+    // the ring.
+    const std::size_t start = c % up.size();
+    for (std::size_t k = 0; k < width; ++k) {
+      shard_map_[c].push_back(up[(start + k) % up.size()]);
+    }
+  }
+  report_.reshards += 1;
+  log_control("reshard", trigger_chip);
+}
+
+void FleetRuntime::arm_health_tick() {
+  if (health_armed_) return;
+  health_armed_ = true;
+  Event e;
+  e.cycle = now_ + std::max<std::uint64_t>(
+                       1, static_cast<std::uint64_t>(
+                              cfg_.health_period_us *
+                              cfg_.chip.cycles_per_us()));
+  e.kind = EventKind::kFleetHealth;
+  fleet_q_.push(std::move(e));
+}
+
+void FleetRuntime::arm_chaos_episode() {
+  // Like the per-lane chaos process: episodes strike only inside the
+  // arrival horizon so the drain phase terminates fault-free.
+  const std::uint64_t gap = exponential_cycles(
+      chaos_rng_, cfg_.chaos.mean_interval_us * cfg_.chip.cycles_per_us());
+  const std::uint64_t at = now_ + gap;
+  if (at > horizon_) return;
+  Event e;
+  e.cycle = at;
+  e.kind = EventKind::kFleetChaos;
+  fleet_q_.push(std::move(e));
+}
+
+std::uint64_t FleetRuntime::hedge_delay_cycles() const {
+  if (cfg_.hedge_delay_us > 0) {
+    return static_cast<std::uint64_t>(cfg_.hedge_delay_us *
+                                      cfg_.chip.cycles_per_us());
+  }
+  if (service_hist_.count() < cfg_.hedge_min_samples) return 0;
+  return service_hist_.quantile(0.99);
+}
+
+void FleetRuntime::log_control(const char* ev, std::uint32_t chip) {
+  if (!elog_on()) return;
+  obs::Json rec = obs::Json::object();
+  rec.set("ev", ev);
+  rec.set("cycle", now_);
+  rec.set("chip", std::uint64_t{chip});
+  event_log_->log(std::move(rec));
+}
+
+}  // namespace cryptopim::runtime

@@ -121,6 +121,15 @@ obs::Json ServingReport::to_json() const {
   // Emitted only when a resilience feature ran: a resilience-off report
   // stays byte-identical to the pre-resilience schema.
   if (resilience_enabled) j.set("resilience", resilience.to_json());
+  // Fleet context: emitted only for externally driven chips, so the
+  // classic single-chip report keeps its schema byte-for-byte.
+  if (fleet_mode) {
+    j.set("chip", std::uint64_t{chip_id});
+    j.set("migrated", migrated);
+    j.set("lost_in_flight", lost_in_flight);
+    j.set("chip_corruptions", chip_corruptions);
+    j.set("chip_failed", chip_failed);
+  }
   j.set("busy_bank_cycles", busy_bank_cycles);
   j.set("utilization", utilization);
   j.set("throughput_per_s", throughput_per_s);
@@ -196,12 +205,14 @@ struct ServingRuntime::InFlight {
   std::size_t lane = 0;
   std::uint64_t dispatched_at = 0;
   bool corrupt = false;      ///< dispatched into a corrupting window
+  bool chip_corrupt = false; ///< dispatched during a corruption storm
   bool is_probe = false;     ///< the lane breaker's half-open probe
   bool is_hedge = false;     ///< the duplicate of a hedged pair
   std::uint64_t hedge_partner = 0;  ///< other dispatch id, 0 = unhedged
 };
 
-ServingRuntime::ServingRuntime(ServingConfig cfg) : cfg_(std::move(cfg)) {}
+ServingRuntime::ServingRuntime(ServingConfig cfg)
+    : cfg_(std::move(cfg)), events_(0, cfg_.chip_id) {}
 ServingRuntime::~ServingRuntime() = default;
 
 unsigned ServingRuntime::usable_banks() const noexcept {
@@ -224,6 +235,12 @@ void ServingRuntime::schedule_scan(std::uint64_t cycle) {
 }
 
 ServingReport ServingRuntime::run() {
+  prime();
+  while (!events_.empty()) step();
+  return seal();
+}
+
+void ServingRuntime::prime() {
   policy_ = make_policy(cfg_.policy);
   if (!policy_) {
     throw std::invalid_argument("unknown scheduling policy: " + cfg_.policy);
@@ -248,6 +265,8 @@ ServingReport ServingRuntime::run() {
   report_.backend = cfg_.backend;
   report_.duration_cycles = horizon;
   report_.cycles_per_us = cyc_per_us;
+  report_.fleet_mode = cfg_.external_arrivals;
+  report_.chip_id = cfg_.chip_id;
 
   // Auto window width: ~64 windows across the arrival horizon, never
   // finer than 1024 cycles. Pure integer arithmetic — deterministic.
@@ -257,7 +276,9 @@ ServingReport ServingRuntime::run() {
           : std::max<std::uint64_t>(1024, horizon / 64);
   report_.series = obs::WindowedSeries(window);
   report_.slo = obs::SloAccountant(cfg_.slo, window, cyc_per_us);
-  if (event_log_) event_log_->clear();
+  // A fleet shares one event log across every chip; the fleet clears it
+  // once, before priming, so a chip must not wipe its siblings' records.
+  if (event_log_ && !cfg_.external_arrivals) event_log_->clear();
 
   resilience_on_ = cfg_.resilience.enabled();
   report_.resilience_enabled = resilience_on_;
@@ -272,28 +293,32 @@ ServingReport ServingRuntime::run() {
     report_.tenants.emplace(t, std::move(ts));
   }
 
-  if (cfg_.closed_loop_clients > 0) {
-    const auto think =
-        static_cast<std::uint64_t>(cfg_.think_time_us * cyc_per_us);
-    workload_ = std::make_unique<ClosedLoop>(cfg_.workload,
-                                             cfg_.closed_loop_clients, think,
-                                             horizon);
-  } else {
-    const double rate_per_cycle = cfg_.arrival_rate_per_s / (1e9 / cfg_.cycle_ns);
-    if (rate_per_cycle <= 0) {
-      throw std::invalid_argument("arrival rate must be positive");
+  // Fleet drive: no internal generator — the front-end injects arrivals
+  // and the queue starts empty.
+  if (!cfg_.external_arrivals) {
+    if (cfg_.closed_loop_clients > 0) {
+      const auto think =
+          static_cast<std::uint64_t>(cfg_.think_time_us * cyc_per_us);
+      workload_ = std::make_unique<ClosedLoop>(cfg_.workload,
+                                               cfg_.closed_loop_clients, think,
+                                               horizon);
+    } else {
+      const double rate_per_cycle =
+          cfg_.arrival_rate_per_s / (1e9 / cfg_.cycle_ns);
+      if (rate_per_cycle <= 0) {
+        throw std::invalid_argument("arrival rate must be positive");
+      }
+      workload_ =
+          std::make_unique<OpenLoopPoisson>(cfg_.workload, rate_per_cycle,
+                                            horizon);
     }
-    workload_ =
-        std::make_unique<OpenLoopPoisson>(cfg_.workload, rate_per_cycle,
-                                          horizon);
-  }
-
-  for (const auto& a : workload_->initial()) {
-    Event e;
-    e.cycle = a.cycle;
-    e.kind = EventKind::kArrival;
-    e.request = a.request;
-    events_.push(std::move(e));
+    for (const auto& a : workload_->initial()) {
+      Event e;
+      e.cycle = a.cycle;
+      e.kind = EventKind::kArrival;
+      e.request = a.request;
+      events_.push(std::move(e));
+    }
   }
   if (cfg_.fail_bank_at_us > 0) {
     Event e;
@@ -321,26 +346,30 @@ ServingReport ServingRuntime::run() {
     }
   }
 
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    now_ = e.cycle;
-    report_.drain_cycle = std::max(report_.drain_cycle, now_);
-    switch (e.kind) {
-      case EventKind::kArrival: handle_arrival(e); break;
-      case EventKind::kQueueScan:
-        scan_cycles_.erase(e.cycle);
-        try_dispatch();
-        break;
-      case EventKind::kCompletion: handle_completion(e); break;
-      case EventKind::kBankFailure: handle_bank_failure(e); break;
-      case EventKind::kTimeout: handle_timeout(e); break;
-      case EventKind::kRetryEnqueue: handle_retry_enqueue(e); break;
-      case EventKind::kHedge: handle_hedge(e); break;
-      case EventKind::kHealth: handle_health(e); break;
-      case EventKind::kChaos: handle_chaos(e); break;
-    }
-  }
+}
 
+void ServingRuntime::step() {
+  const Event e = events_.pop();
+  now_ = e.cycle;
+  report_.drain_cycle = std::max(report_.drain_cycle, now_);
+  switch (e.kind) {
+    case EventKind::kArrival: handle_arrival(e); break;
+    case EventKind::kQueueScan:
+      scan_cycles_.erase(e.cycle);
+      try_dispatch();
+      break;
+    case EventKind::kCompletion: handle_completion(e); break;
+    case EventKind::kBankFailure: handle_bank_failure(e); break;
+    case EventKind::kTimeout: handle_timeout(e); break;
+    case EventKind::kRetryEnqueue: handle_retry_enqueue(e); break;
+    case EventKind::kHedge: handle_hedge(e); break;
+    case EventKind::kHealth: handle_health(e); break;
+    case EventKind::kChaos: handle_chaos(e); break;
+    default: break;  // fleet kinds never reach a chip's queue
+  }
+}
+
+ServingReport ServingRuntime::seal() {
   // Anything still queued is starved: the chip degraded below its class's
   // bank requirement mid-stream. Surface it rather than hanging.
   report_.queued = pending_.size();
@@ -356,19 +385,90 @@ ServingReport ServingRuntime::run() {
         (static_cast<double>(cfg_.chip.total_banks) *
          static_cast<double>(report_.drain_cycle));
   }
-  if (horizon > 0) {
+  if (horizon_ > 0) {
     report_.offered_per_s = static_cast<double>(report_.submitted) /
-                            (static_cast<double>(horizon) * cfg_.cycle_ns *
+                            (static_cast<double>(horizon_) * cfg_.cycle_ns *
                              1e-9);
   }
   publish_metrics();
   return report_;
 }
 
+// -- fleet drive --------------------------------------------------------------
+
+void ServingRuntime::inject(Request r, std::uint64_t cycle) {
+  Event e;
+  e.cycle = std::max(cycle, now_);
+  e.kind = EventKind::kArrival;
+  e.request = std::move(r);
+  events_.push(std::move(e));
+}
+
+void ServingRuntime::emit_outcome(const Request& r, Outcome o) {
+  if (outcome_sink_) outcome_sink_(r, o, now_);
+}
+
+std::vector<Request> ServingRuntime::extract_pending() {
+  // Pending timeouts of migrated requests no-op: handle_timeout scans
+  // pending_ by id and finds nothing.
+  std::vector<Request> out;
+  out.swap(pending_);
+  report_.migrated += out.size();
+  return out;
+}
+
+std::vector<Request> ServingRuntime::crash_chip() {
+  // Deduplicate by request id: a hedged pair is two in-flight entries but
+  // one request, and the fleet must re-dispatch it exactly once.
+  std::vector<Request> out;
+  std::set<std::uint64_t> seen;
+  for (const auto& [id, inf] : in_flight_) {
+    if (seen.insert(inf.request.id).second) out.push_back(inf.request);
+  }
+  report_.lost_in_flight += in_flight_.size();
+  in_flight_.clear();
+  for (Request& r : pending_) {
+    if (seen.insert(r.id).second) out.push_back(std::move(r));
+  }
+  report_.migrated += pending_.size();
+  pending_.clear();
+  for (Lane& lane : lanes_) {
+    lane.dead = true;
+    lane.in_flight = 0;
+  }
+  // Dark until revive(): no usable banks, so nothing dispatches. Stray
+  // internal-retry events still in the air re-enter the queue and wait;
+  // completion/hedge/scan events for the dead lanes fire as no-ops.
+  allocated_banks_ = 0;
+  failed_banks_ = cfg_.chip.total_banks + cfg_.chip.spare_banks;
+  chip_slow_until_ = 0;
+  chip_corrupt_until_ = 0;
+  return out;
+}
+
+void ServingRuntime::revive(std::uint64_t cycle) {
+  failed_banks_ = 0;
+  schedule_scan(std::max(cycle, now_) + 1);
+  if (resilience_on_ &&
+      (cfg_.resilience.wear_limit > 0 || cfg_.resilience.chaos.enabled)) {
+    arm_health_tick(cfg_.resilience.health_period_cycles);
+  }
+}
+
+void ServingRuntime::slow_down(std::uint64_t until_cycle, double factor) {
+  chip_slow_until_ = std::max(chip_slow_until_, until_cycle);
+  if (factor > 1.0) chip_slow_factor_ = factor;
+}
+
+void ServingRuntime::corrupt_window(std::uint64_t until_cycle) {
+  chip_corrupt_until_ = std::max(chip_corrupt_until_, until_cycle);
+}
+
 obs::Json ServingRuntime::ev_base(const char* name, const Request& r) const {
   obs::Json rec = obs::Json::object();
   rec.set("ev", name);
   rec.set("cycle", now_);
+  rec.set("chip", std::uint64_t{cfg_.chip_id});
   rec.set("trace", r.id);
   rec.set("tenant", std::uint64_t{r.tenant});
   return rec;
@@ -392,14 +492,17 @@ void ServingRuntime::handle_arrival(const Event& e) {
       .add(pending_.size());
 
   // Chain the next open-loop arrival before any admission decision so
-  // backpressure never throttles the *offered* load.
-  Arrival this_arrival{e.cycle, r};
-  if (auto next = workload_->next_after_arrival(this_arrival)) {
-    Event ne;
-    ne.cycle = next->cycle;
-    ne.kind = EventKind::kArrival;
-    ne.request = next->request;
-    events_.push(std::move(ne));
+  // backpressure never throttles the *offered* load. (Fleet drive has no
+  // generator: the front-end injects every arrival itself.)
+  if (workload_) {
+    Arrival this_arrival{e.cycle, r};
+    if (auto next = workload_->next_after_arrival(this_arrival)) {
+      Event ne;
+      ne.cycle = next->cycle;
+      ne.kind = EventKind::kArrival;
+      ne.request = next->request;
+      events_.push(std::move(ne));
+    }
   }
 
   const LaneGeometry g = geometry_for(cfg_.chip, r.degree);
@@ -412,6 +515,7 @@ void ServingRuntime::handle_arrival(const Event& e) {
       rec.set("reason", "unservable");
       event_log_->log(std::move(rec));
     }
+    emit_outcome(r, Outcome::kRejected);
     return;
   }
   if (pending_.size() >= cfg_.queue_capacity) {
@@ -423,6 +527,7 @@ void ServingRuntime::handle_arrival(const Event& e) {
       rec.set("reason", "queue_full");
       event_log_->log(std::move(rec));
     }
+    emit_outcome(r, Outcome::kRejected);
     return;
   }
   r.service_cycles = g.service();
@@ -460,6 +565,7 @@ void ServingRuntime::handle_arrival(const Event& e) {
         rec.set("reason", "deadline_infeasible");
         event_log_->log(std::move(rec));
       }
+      emit_outcome(r, Outcome::kRejected);
       return;
     }
   }
@@ -520,6 +626,7 @@ void ServingRuntime::try_dispatch() {
           event_log_->log(std::move(rec));
         }
         notify_request_gone(dropped);
+        emit_outcome(dropped, Outcome::kShed);
         continue;
       }
     }
@@ -578,7 +685,8 @@ ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
   lane.degree = degree;
   lane.banks = g.banks;
   lane.free_at = now_ + cfg_.repartition_cycles;
-  lane.track = kRuntimeTrackBase + 1 + static_cast<std::uint32_t>(lanes_.size());
+  lane.track =
+      runtime_track_base() + 1 + static_cast<std::uint32_t>(lanes_.size());
   if (resilience_on_) {
     lane.breaker = CircuitBreaker(cfg_.resilience.breaker_k,
                                   cfg_.resilience.breaker_open_cycles);
@@ -591,13 +699,14 @@ ServingRuntime::Lane* ServingRuntime::carve_lane(std::uint32_t degree) {
     tr.set_track_name(lane.track, "runtime lane " +
                                       std::to_string(lanes_.size()) + " (n=" +
                                       std::to_string(degree) + ")");
-    tr.emit(kRuntimeTrackBase, "repartition n=" + std::to_string(degree),
+    tr.emit(runtime_track_base(), "repartition n=" + std::to_string(degree),
             "runtime", now_, cfg_.repartition_cycles);
   }
   if (elog_on()) {
     obs::Json rec = obs::Json::object();
     rec.set("ev", "carve");
     rec.set("cycle", now_);
+    rec.set("chip", std::uint64_t{cfg_.chip_id});
     rec.set("lane", std::uint64_t{lanes_.size()});
     rec.set("degree", std::uint64_t{degree});
     rec.set("ready", lane.free_at);
@@ -650,6 +759,11 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
           static_cast<double>(service) * cfg_.resilience.chaos.slow_factor);
     }
   }
+  // Whole-chip brownout: every dispatch in the episode runs slow.
+  if (t0 < chip_slow_until_) {
+    service = static_cast<std::uint64_t>(
+        static_cast<double>(service) * chip_slow_factor_);
+  }
   const std::uint64_t completion = t0 + service;
   lane.free_at = t0 + g.occupancy();
   lane.in_flight += 1;
@@ -686,6 +800,7 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   inf.dispatched_at = t0;
   inf.is_probe = is_probe;
   if (resilience_on_) inf.corrupt = chaos_corrupting(lane, t0);
+  inf.chip_corrupt = t0 < chip_corrupt_until_;
   in_flight_.emplace(id, std::move(inf));
 
   Event e;
@@ -727,6 +842,38 @@ void ServingRuntime::handle_completion(const Event& e) {
       cancel_in_flight(inf.hedge_partner);
       if (inf.is_hedge) report_.resilience.hedge_wins += 1;
     }
+  }
+  if (inf.chip_corrupt) {
+    // Whole-chip corruption storm: the layered checks catch the bad
+    // result on completion irrespective of the per-lane resilience layer
+    // — a storm result is never delivered as good. The chip's own
+    // retries get a shot when resilience is on; otherwise (or once
+    // exhausted) the request is surrendered to the fleet for a
+    // cross-chip retry.
+    report_.chip_corruptions += 1;
+    if (elog_on()) {
+      obs::Json rec = ev_base("chip_corruption_detected", r);
+      rec.set("dispatch", e.dispatch_id);
+      rec.set("lane", std::uint64_t{inf.lane});
+      event_log_->log(std::move(rec));
+    }
+    if (resilience_on_) {
+      record_lane_outcome(lane, inf.lane, false);
+      if (lane.draining && lane.in_flight == 0) {
+        remap_drained_lane(lane, inf.lane);
+      }
+    }
+    if (!resilience_on_ || !schedule_retry(r, /*count_as_bank_retry=*/false)) {
+      report_.chip_failed += 1;
+      record_bad_outcome("failed");
+      if (elog_on()) event_log_->log(ev_base("failed", r));
+      notify_request_gone(r);
+      emit_outcome(r, Outcome::kFailed);
+    }
+    try_dispatch();
+    return;
+  }
+  if (resilience_on_) {
     if (inf.corrupt && cfg_.resilience.chaos_detect) {
       // The layered checks of the reliability stack (write-verify,
       // parity, Freivalds) catch the corrupt result; never delivered.
@@ -746,6 +893,7 @@ void ServingRuntime::handle_completion(const Event& e) {
         record_bad_outcome("failed");
         if (elog_on()) event_log_->log(ev_base("failed", r));
         notify_request_gone(r);
+        emit_outcome(r, Outcome::kFailed);
       }
       try_dispatch();
       return;
@@ -796,13 +944,16 @@ void ServingRuntime::handle_completion(const Event& e) {
   if (resilience_on_ && lane.draining && lane.in_flight == 0) {
     remap_drained_lane(lane, inf.lane);
   }
+  emit_outcome(r, Outcome::kCompleted);
 
-  if (auto next = workload_->next_after_completion(r, now_)) {
-    Event ne;
-    ne.cycle = next->cycle;
-    ne.kind = EventKind::kArrival;
-    ne.request = next->request;
-    events_.push(std::move(ne));
+  if (workload_) {
+    if (auto next = workload_->next_after_completion(r, now_)) {
+      Event ne;
+      ne.cycle = next->cycle;
+      ne.kind = EventKind::kArrival;
+      ne.request = next->request;
+      events_.push(std::move(ne));
+    }
   }
   try_dispatch();
 }
@@ -815,6 +966,7 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     obs::Json rec = obs::Json::object();
     rec.set("ev", "bank_failure");
     rec.set("cycle", now_);
+    rec.set("chip", std::uint64_t{cfg_.chip_id});
     rec.set("banks", std::uint64_t{cfg_.fail_banks});
     event_log_->log(std::move(rec));
   }
@@ -859,6 +1011,7 @@ void ServingRuntime::handle_bank_failure(const Event&) {
         record_bad_outcome("failed");
         if (elog_on()) event_log_->log(ev_base("failed", inf.request));
         notify_request_gone(inf.request);
+        emit_outcome(inf.request, Outcome::kFailed);
       }
       return;
     }
@@ -883,7 +1036,7 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     report_.repartitions += 1;
     auto& tr = obs::tracer();
     if (tr.enabled()) {
-      tr.emit(kRuntimeTrackBase, "bank failure", "runtime", now_,
+      tr.emit(runtime_track_base(), "bank failure", "runtime", now_,
               cfg_.repartition_cycles);
     }
     if (allocated_banks_ > usable_banks()) {
@@ -973,6 +1126,7 @@ void ServingRuntime::handle_timeout(const Event& e) {
     record_bad_outcome("timed_out");
     if (elog_on()) event_log_->log(ev_base("timed_out", r));
     notify_request_gone(r);
+    emit_outcome(r, Outcome::kTimedOut);
     return;
   }
 }
@@ -1012,6 +1166,10 @@ void ServingRuntime::handle_hedge(const Event& e) {
     service = static_cast<std::uint64_t>(
         static_cast<double>(service) * cfg_.resilience.chaos.slow_factor);
   }
+  if (now_ < chip_slow_until_) {
+    service = static_cast<std::uint64_t>(
+        static_cast<double>(service) * chip_slow_factor_);
+  }
   lane->free_at = now_ + g.occupancy();
   lane->in_flight += 1;
   // Hedges burn real bank-cycles but are not charged to the tenant's
@@ -1025,6 +1183,7 @@ void ServingRuntime::handle_hedge(const Event& e) {
   dup.lane = lane_idx;
   dup.dispatched_at = now_;
   dup.corrupt = chaos_corrupting(*lane, now_);
+  dup.chip_corrupt = now_ < chip_corrupt_until_;
   dup.is_probe = is_probe;
   dup.is_hedge = true;
   dup.hedge_partner = e.dispatch_id;
@@ -1212,7 +1371,7 @@ void ServingRuntime::remap_drained_lane(Lane& lane, std::size_t lane_idx) {
   schedule_scan(lane.free_at);
   auto& tr = obs::tracer();
   if (tr.enabled()) {
-    tr.emit(kRuntimeTrackBase, "wear remap lane " + std::to_string(lane_idx),
+    tr.emit(runtime_track_base(), "wear remap lane " + std::to_string(lane_idx),
             "resilience", now_, cfg_.repartition_cycles);
   }
 }
@@ -1220,6 +1379,7 @@ void ServingRuntime::remap_drained_lane(Lane& lane, std::size_t lane_idx) {
 void ServingRuntime::notify_request_gone(const Request& r) {
   // Shed / timed-out / failed requests still complete the closed-loop
   // cycle: the client observes the error and re-issues after thinking.
+  if (!workload_) return;  // fleet drive: the front-end owns the loop
   if (auto next = workload_->next_after_completion(r, now_)) {
     Event ne;
     ne.cycle = next->cycle;

@@ -46,6 +46,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -71,9 +72,33 @@ class ExecutionBackend;  // runtime/backend.h
 /// Trace track ids used by the runtime: base + lane index (base itself
 /// is the control track carrying repartition/failure spans). Disjoint
 /// from the simulator tracks (0..banks, 1<<15, 1<<16, 1<<17 ranges).
+/// Fleet chips each get their own window of kRuntimeTracksPerChip ids
+/// above the base so per-lane tracks never collide across chips.
 inline constexpr std::uint32_t kRuntimeTrackBase = 1u << 18;
+inline constexpr std::uint32_t kRuntimeTracksPerChip = 1u << 10;
+
+/// Terminal fate of a request on one chip, reported through the outcome
+/// sink so a fleet front-end can react (cross-chip retry, hedging,
+/// accounting). kCompleted is the only good outcome; everything else is
+/// a candidate for re-dispatch on a replica chip.
+enum class Outcome : std::uint8_t {
+  kCompleted,
+  kRejected,  ///< refused at admission (queue full / unservable / deadline)
+  kShed,      ///< CoDel drop at dispatch
+  kTimedOut,  ///< cancelled in queue past its deadline
+  kFailed,    ///< gave up after detection/teardown (no retry left)
+};
 
 struct ServingConfig {
+  /// Fleet identity: folded into the event queue's sequence namespace,
+  /// stamped on event-log records, and offset into the trace track ids.
+  /// 0 for the classic single-chip `serve` path.
+  std::uint32_t chip_id = 0;
+  /// Fleet drive mode: no internal workload generator — arrivals are
+  /// injected by the fleet front-end via inject(), and terminal request
+  /// outcomes are reported through the outcome sink.
+  bool external_arrivals = false;
+
   arch::ChipConfig chip = arch::ChipConfig::paper_chip();
   std::string policy = "fifo";
   /// Execution backend for data-carrying (verified) requests: "gate"
@@ -173,6 +198,16 @@ struct ServingReport {
   bool resilience_enabled = false;
   ResilienceStats resilience;
 
+  /// Fleet context (populated, and emitted in to_json, only when the
+  /// chip was driven externally by a FleetRuntime — the classic
+  /// single-chip report stays byte-identical).
+  bool fleet_mode = false;
+  std::uint32_t chip_id = 0;
+  std::uint64_t migrated = 0;         ///< queued work extracted by a drain/crash
+  std::uint64_t lost_in_flight = 0;   ///< in-flight torn down by a chip crash
+  std::uint64_t chip_corruptions = 0; ///< corruption-storm results detected
+  std::uint64_t chip_failed = 0;      ///< surrendered to the fleet for retry
+
   std::uint64_t busy_bank_cycles = 0;
   double utilization = 0;       ///< busy bank-cycles / (banks x drain time)
   double throughput_per_s = 0;  ///< completed / drain time
@@ -220,6 +255,62 @@ class ServingRuntime {
   /// an unknown policy name or an empty degree mix.
   ServingReport run();
 
+  // -- fleet drive (stepping) API --------------------------------------------
+  // run() == prime(); while (has_events()) step(); seal(). A fleet
+  // front-end interleaves many chips instead: it primes each chip, then
+  // repeatedly steps whichever chip (or fleet queue) holds the globally
+  // earliest (cycle, seq) event — the chip-namespaced seq makes that
+  // merge a strict total order, so fleet runs are bit-deterministic.
+
+  /// Everything run() does before the event loop. With
+  /// cfg.external_arrivals no workload generator is built: the queue
+  /// starts empty and the fleet injects arrivals.
+  void prime();
+  bool has_events() const noexcept { return !events_.empty(); }
+  std::uint64_t next_event_cycle() const { return events_.peek().cycle; }
+  /// Chip-namespaced sequence of the earliest event: the fleet's
+  /// same-cycle tie-break across chips.
+  std::uint64_t next_event_seq() const { return events_.peek().seq; }
+  /// Pop and handle exactly one event.
+  void step();
+  /// Everything run() does after the loop; returns the final report.
+  ServingReport seal();
+
+  /// Fleet mode: schedule an externally routed arrival at `cycle`
+  /// (>= the chip's current cycle). The request keeps its original
+  /// arrival_cycle so latency spans cross-chip retries and migrations.
+  void inject(Request r, std::uint64_t cycle);
+  /// Terminal-outcome callback (not owned; may be null). Fired once per
+  /// submission the chip gives up on or completes.
+  using OutcomeSink =
+      std::function<void(const Request&, Outcome, std::uint64_t cycle)>;
+  void set_outcome_sink(OutcomeSink sink) { outcome_sink_ = std::move(sink); }
+
+  /// Drain support: remove and return every queued (admitted, not yet
+  /// dispatched) request so the fleet can migrate it to another chip.
+  std::vector<Request> extract_pending();
+  /// Whole-chip crash: every lane is torn down and every in-flight and
+  /// queued request is lost — returned (deduplicated) for the fleet to
+  /// re-dispatch. The chip goes dark (no usable banks) until revive().
+  std::vector<Request> crash_chip();
+  /// Rejoin after the fleet's scrub period: the bank pool is whole again
+  /// (lanes re-carve on demand) and a wake-up scan at `cycle` dispatches
+  /// anything that strayed into the queue while dark.
+  void revive(std::uint64_t cycle);
+  /// Brownout episode: dispatches until `until_cycle` run `factor`x slow.
+  void slow_down(std::uint64_t until_cycle, double factor);
+  /// Corruption-storm episode: results dispatched before `until_cycle`
+  /// are corrupt; the layered checks detect them on completion and the
+  /// chip surrenders them (Outcome::kFailed) unless its own resilience
+  /// retries succeed. Never delivered as good.
+  void corrupt_window(std::uint64_t until_cycle);
+
+  /// Live (mid-run) state, for fleet routing and health decisions.
+  const ServingReport& live() const noexcept { return report_; }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  std::size_t in_flight_count() const noexcept { return in_flight_.size(); }
+  std::uint64_t now() const noexcept { return now_; }
+
  private:
   struct Lane;
   struct InFlight;
@@ -259,6 +350,13 @@ class ServingRuntime {
   /// Terminal-outcome bookkeeping shared by every "bad" exit (rejected /
   /// shed / timed out / failed): windowed counter + SLO error.
   void record_bad_outcome(const char* counter);
+  /// Report a terminal fate to the fleet's outcome sink (no-op when the
+  /// sink is unset, i.e. in the classic single-chip path).
+  void emit_outcome(const Request& r, Outcome o);
+  /// Base trace track id for this chip's lane spans.
+  std::uint32_t runtime_track_base() const noexcept {
+    return kRuntimeTrackBase + cfg_.chip_id * kRuntimeTracksPerChip;
+  }
 
   // -- resilience -------------------------------------------------------------
   void handle_timeout(const Event& e);
@@ -318,6 +416,13 @@ class ServingRuntime {
   std::vector<double> tenant_usage_;  ///< bank-cycles / weight, for wfq
 
   obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
+  OutcomeSink outcome_sink_;            ///< fleet callback; may be empty
+
+  // -- whole-chip episode state (inert at defaults: single-chip runs
+  // never set these, so legacy output is byte-identical) ----------------------
+  std::uint64_t chip_slow_until_ = 0;
+  double chip_slow_factor_ = 1.0;
+  std::uint64_t chip_corrupt_until_ = 0;
 
   ServingReport report_;
 };

@@ -430,7 +430,7 @@ TEST(EventLog, JsonlHasHeaderAndOneRecordPerLine) {
     lines.push_back(r.value);
   }
   ASSERT_EQ(lines.size(), 3u);
-  EXPECT_EQ(lines[0].at("schema").as_string(), "serve-events/1");
+  EXPECT_EQ(lines[0].at("schema").as_string(), "serve-events/2");
   EXPECT_EQ(lines[0].at("records").as_u64(), 2u);
   EXPECT_EQ(lines[1].at("ev").as_string(), "admitted");
   EXPECT_EQ(lines[2].at("ev").as_string(), "completed");

@@ -16,7 +16,9 @@
 //   cryptopim serve [--arrival-rate R] ...     online serving: discrete-event
 //                                              multi-tenant scheduling of a
 //                                              request stream over superbank
-//                                              lanes (see `serve --help`)
+//                                              lanes; with --fleet N, across
+//                                              N chips behind one front-end
+//                                              (see `serve --help`)
 //
 // Global flags:
 //   --json           machine-readable output (one JSON document on stdout)
@@ -33,6 +35,7 @@
 
 #include "core/cryptopim.h"
 #include "crypto/kem.h"
+#include "runtime/fleet.h"
 #include "obs/bench_report.h"
 #include "obs/event_log.h"
 #include "obs/json.h"
@@ -61,7 +64,7 @@ void print_usage(std::ostream& os) {
         "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
         "  cryptopim kem [--seed S]\n"
         "  cryptopim serve [--arrival-rate R] [--policy P] [--duration US]\n"
-        "                  [--deadline US] [--chaos] [...]\n"
+        "                  [--deadline US] [--chaos] [--fleet N] [...]\n"
         "                                  (see `cryptopim serve --help`)\n"
         "global flags: --json, --trace=FILE, --version, --help\n";
 }
@@ -137,6 +140,32 @@ int serve_help() {
          "                       corrupting windows) + the full mitigation\n"
          "                       stack; individual flags still override\n"
          "  --chaos-seed S       chaos episode RNG seed (default: --seed)\n"
+         "\n"
+         "fleet (multi-chip; the flags below require --fleet):\n"
+         "  --fleet N            serve across N independent chips behind one\n"
+         "                       deterministic front-end: requests shard by\n"
+         "                       degree class onto primary + replica chips,\n"
+         "                       unhealthy chips drain (queued work migrates,\n"
+         "                       the shard map rebuilds) and rejoin after a\n"
+         "                       scrub. The report becomes a fleet/1\n"
+         "                       aggregate with per-chip serving/2 reports.\n"
+         "                       --retries / --retry-budget / --hedge /\n"
+         "                       --hedge-delay also apply at fleet\n"
+         "                       granularity (cross-chip re-dispatch and\n"
+         "                       hedging) when given explicitly\n"
+         "  --router P           front-end policy: hash (consistent, by\n"
+         "                       tenant) | least (least loaded) | affinity\n"
+         "                       (degree-class primary) (default hash)\n"
+         "  --replicas R         placement width per degree class (default\n"
+         "                       2, clamped to the fleet size)\n"
+         "  --fleet-chaos        seeded whole-chip episodes (crash,\n"
+         "                       brownout, corruption storm) exercising the\n"
+         "                       drain/re-shard machinery; seed from\n"
+         "                       --chaos-seed\n"
+         "  --kill-chip-at US    deterministically crash one chip at this\n"
+         "                       simulated us (0 = off)\n"
+         "  --kill-chip I        which chip --kill-chip-at crashes\n"
+         "                       (default 0)\n"
          "\n"
          "observability:\n"
          "  --events PATH        write the request-lifecycle event log as\n"
@@ -565,6 +594,23 @@ int cmd_serve(const Options& opt) {
   cfg.workload.mix =
       parse_mix(take_value(args, "--degrees").value_or("256:4,1024:2,4096:1"));
 
+  // Whether the retry/hedge flags were given explicitly (vs preset or
+  // default) — in fleet mode they then also configure the cross-chip
+  // layer, before the resilience parse below consumes them.
+  const auto flag_present = [&args](const std::string& name) {
+    for (const auto& a : args) {
+      if (a == name || (a.starts_with(name) && a.size() > name.size() &&
+                        a[name.size()] == '=')) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool retries_given = flag_present("--retries");
+  const bool retry_budget_given = flag_present("--retry-budget");
+  const bool hedge_given =
+      flag_present("--hedge") || flag_present("--hedge-delay");
+
   // -- resilience: --chaos selects the preset, explicit flags override --------
   const bool chaos = take_flag(args, "--chaos");
   const auto chaos_seed = take_u64(args, "--chaos-seed", cfg.workload.seed);
@@ -617,6 +663,19 @@ int cmd_serve(const Options& opt) {
     }
   }
 
+  // -- fleet ------------------------------------------------------------------
+  const auto fleet_n = take_u64(args, "--fleet", 0, 0, 1024);
+  const auto router_name = take_value(args, "--router");
+  const auto replicas = take_u64(args, "--replicas", 2, 1, 1024);
+  const bool fleet_chaos = take_flag(args, "--fleet-chaos");
+  const auto kill_chip_at = take_double(args, "--kill-chip-at", 0.0, 0.0, 1e9);
+  const auto kill_chip = take_u64(args, "--kill-chip", 0, 0, 1023);
+  if (fleet_n == 0 && (router_name || fleet_chaos || kill_chip_at > 0)) {
+    throw UsageError(
+        "fleet flags (--router/--replicas/--fleet-chaos/--kill-chip-at) "
+        "require --fleet N");
+  }
+
   if (const int rc = reject_leftovers(args)) return rc;
   if (!cp::runtime::make_policy(cfg.policy)) {
     throw UsageError("unknown policy '" + cfg.policy + "' (expected one of: "
@@ -625,6 +684,122 @@ int cmd_serve(const Options& opt) {
   if (!cp::runtime::make_backend(cfg.backend)) {
     throw UsageError("unknown backend '" + cfg.backend +
                      "' (expected one of: gate, word, analytic)");
+  }
+
+  if (fleet_n > 0) {
+    if (cfg.closed_loop_clients > 0) {
+      throw UsageError(
+          "--fleet drives open-loop arrivals only (drop --closed-loop)");
+    }
+    cp::runtime::FleetConfig fc;
+    fc.chips = static_cast<std::uint32_t>(fleet_n);
+    fc.router = router_name.value_or("hash");
+    fc.replicas = static_cast<std::uint32_t>(replicas);
+    fc.chip = cfg;
+    // The per-lane retry/hedge flags double at fleet granularity when
+    // given explicitly: lane retries fight corruption inside a chip,
+    // cross-chip retries re-route work a whole chip gave up on.
+    if (retries_given) fc.max_retries = res.max_retries;
+    if (retry_budget_given) fc.retry_budget_ratio = res.retry_budget_ratio;
+    if (hedge_given) {
+      fc.hedge = res.hedge;
+      fc.hedge_delay_us = res.hedge_delay_us;
+    }
+    fc.chaos.enabled = fleet_chaos;
+    fc.chaos.seed = chaos_seed;
+    fc.kill_chip_at_us = kill_chip_at;
+    fc.kill_chip = static_cast<std::uint32_t>(kill_chip);
+    if (!cp::runtime::make_router(fc.router)) {
+      throw UsageError("unknown router '" + fc.router +
+                       "' (expected one of: hash, least, affinity)");
+    }
+
+    cp::runtime::FleetRuntime fleet(std::move(fc));
+    cp::obs::EventLog fleet_elog;
+    if (events_path) {
+      fleet_elog.set_enabled(true);
+      fleet.set_event_log(&fleet_elog);
+    }
+    const auto rep = fleet.run();
+    if (events_path) {
+      fleet_elog.write_jsonl(*events_path);
+      std::cerr << "[events: " << *events_path << ", " << fleet_elog.size()
+                << " records]\n";
+    }
+    std::uint64_t verified = 0, verify_failures = 0, wrong_accepted = 0;
+    for (const auto& c : rep.chip_reports) {
+      verified += c.verified;
+      verify_failures += c.verify_failures;
+      wrong_accepted += c.resilience.wrong_accepted;
+    }
+    if (opt.json) {
+      cp::obs::Json j = cp::obs::Json::object();
+      j.set("command", "serve");
+      j.set("seed", cfg.workload.seed);
+      j.set("fleet", std::uint64_t{rep.chips});
+      j.set("arrival_rate_per_s", cfg.arrival_rate_per_s);
+      j.set("duration_us", cfg.duration_us);
+      j.set("report", rep.to_json());
+      j.write(std::cout);
+      std::cout << "\n";
+    } else {
+      const auto lat_us = [&rep](double q) {
+        return rep.latency_cycles.quantile(q) / rep.cycles_per_us;
+      };
+      std::cout << "fleet:       " << rep.chips << " chips, router "
+                << rep.router << ", replicas " << rep.replicas << "\n"
+                << "policy:      " << cfg.policy << "\n"
+                << "backend:     " << cfg.backend << "\n"
+                << "horizon:     " << cp::fmt_f(cfg.duration_us) << " us ("
+                << cp::fmt_i(rep.duration_cycles) << " cycles)\n"
+                << "submitted:   " << cp::fmt_i(rep.submitted) << " ("
+                << cp::fmt_i(static_cast<std::uint64_t>(rep.offered_per_s))
+                << " req/s offered)\n"
+                << "completed:   " << cp::fmt_i(rep.completed) << " ("
+                << cp::fmt_i(static_cast<std::uint64_t>(rep.throughput_per_s))
+                << " req/s)\n"
+                << "fates:       " << cp::fmt_i(rep.rejected) << " rejected, "
+                << cp::fmt_i(rep.shed) << " shed, "
+                << cp::fmt_i(rep.timed_out) << " timed out, "
+                << cp::fmt_i(rep.failed) << " failed, "
+                << cp::fmt_i(rep.queued) << " queued at drain\n"
+                << "latency:     mean "
+                << cp::fmt_f(rep.latency_cycles.mean() / rep.cycles_per_us)
+                << " us, p50 " << cp::fmt_f(lat_us(0.5)) << " us, p99 "
+                << cp::fmt_f(lat_us(0.99)) << " us, p999 "
+                << cp::fmt_f(lat_us(0.999)) << " us\n"
+                << "routing:     " << cp::fmt_i(rep.routed) << " routed, "
+                << cp::fmt_i(rep.parked) << " parked, "
+                << cp::fmt_i(rep.reshards) << " reshards\n"
+                << "cross-chip:  " << cp::fmt_i(rep.cross_retries)
+                << " retries (" << cp::fmt_i(rep.retry_budget_denied)
+                << " budget-denied), hedges "
+                << cp::fmt_i(rep.hedges_launched) << " ("
+                << cp::fmt_i(rep.hedge_wasted) << " wasted)\n"
+                << "domains:     " << cp::fmt_i(rep.drains) << " drains, "
+                << cp::fmt_i(rep.crashes) << " crashes, "
+                << cp::fmt_i(rep.brownouts) << " brownouts, "
+                << cp::fmt_i(rep.corruption_storms) << " storms, "
+                << cp::fmt_i(rep.rejoins) << " rejoins\n"
+                << "migration:   " << cp::fmt_i(rep.migrated)
+                << " migrated, " << cp::fmt_i(rep.redispatched)
+                << " redispatched\n"
+                << "verified:    " << cp::fmt_i(verified) << " ok, "
+                << cp::fmt_i(verify_failures) << " failed, "
+                << cp::fmt_i(wrong_accepted) << " wrong-accepted\n";
+      cp::Table t({"chip", "submitted", "completed", "rejected", "failed",
+                   "migrated", "p99 (us)"});
+      for (const auto& c : rep.chip_reports) {
+        t.add_row({std::to_string(c.chip_id), cp::fmt_i(c.submitted),
+                   cp::fmt_i(c.completed), cp::fmt_i(c.rejected),
+                   cp::fmt_i(c.resilience.failed + c.chip_failed),
+                   cp::fmt_i(c.migrated), cp::fmt_f(c.latency_us(0.99))});
+      }
+      t.print(std::cout);
+    }
+    // Same contract as single-chip serve: a corrupt result delivered as
+    // good anywhere in the fleet is the one unforgivable outcome.
+    return verify_failures == 0 && wrong_accepted == 0 ? 0 : 1;
   }
 
   cp::runtime::ServingRuntime rt(cfg);

@@ -6,9 +6,13 @@
 // CLI smoke tests on --trace output.
 //
 // --events: arguments are serve-events JSONL logs. Every line must
-// parse; the first must be a {"schema":"serve-events/1"} header whose
-// "records" count matches the body; every record needs "ev" + "cycle",
-// request-scoped records (everything but carve / bank_failure) also
+// parse; the first must be a {"schema":"serve-events/1"} or
+// {"schema":"serve-events/2"} header whose "records" count matches the
+// body; every record needs "ev" + "cycle" (for /2, also "chip" — the
+// fleet-era field stamped on every record, control included);
+// request-scoped records (everything but the control set: carve,
+// bank_failure, and the fleet chip_crash / chip_brownout /
+// chip_corruption_storm / chip_drain / chip_rejoin / reshard) also
 // need "trace" and "tenant".
 //
 // --serving: arguments are `serve --json` reports. The document must
@@ -16,6 +20,12 @@
 // (gate | word | analytic) and the windowed "series" section (schema
 // "timeseries/1"); when an "slo" section is present it must be schema
 // "slo/1" with summary + windows.
+//
+// --fleet: arguments are `serve --fleet --json` reports (schema
+// "fleet/1"): the "chips" array length must match the "fleet" count,
+// every per-chip entry must be a serving/2 report carrying its "chip"
+// id, and the final-fate counters must conserve:
+// submitted == completed + rejected + shed + timed_out + failed + queued.
 //
 // Exit 0 iff every file validates.
 #include <fstream>
@@ -45,14 +55,18 @@ bool check_plain(const std::string& path, const std::string& text) {
 }
 
 bool check_events(const std::string& path, const std::string& text) {
-  // Control records describe the chip, not one request, so they carry
-  // no trace id.
-  static const std::set<std::string> kControl = {"carve", "bank_failure"};
+  // Control records describe a chip (or the fleet), not one request, so
+  // they carry no trace id.
+  static const std::set<std::string> kControl = {
+      "carve",          "bank_failure", "chip_crash",
+      "chip_brownout",  "chip_corruption_storm",
+      "chip_drain",     "chip_rejoin",  "reshard"};
   std::istringstream is(text);
   std::string line;
   std::size_t lineno = 0;
   std::uint64_t declared = 0;
   std::uint64_t records = 0;
+  bool v2 = false;
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -65,10 +79,12 @@ bool check_events(const std::string& path, const std::string& text) {
       return fail(path, "line " + std::to_string(lineno) + ": not an object");
     }
     if (lineno == 1) {
-      if (!j.contains("schema") ||
-          j.at("schema").as_string() != "serve-events/1") {
-        return fail(path, "missing serve-events/1 header");
+      const std::string schema =
+          j.contains("schema") ? j.at("schema").as_string() : "";
+      if (schema != "serve-events/1" && schema != "serve-events/2") {
+        return fail(path, "missing serve-events/1|2 header");
       }
+      v2 = schema == "serve-events/2";
       if (!j.contains("records")) return fail(path, "header lacks 'records'");
       declared = j.at("records").as_u64();
       continue;
@@ -77,6 +93,10 @@ bool check_events(const std::string& path, const std::string& text) {
     if (!j.contains("ev") || !j.contains("cycle")) {
       return fail(path, "line " + std::to_string(lineno) +
                             ": record lacks ev/cycle");
+    }
+    if (v2 && !j.contains("chip")) {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": serve-events/2 record lacks chip");
     }
     if (!kControl.contains(j.at("ev").as_string()) &&
         (!j.contains("trace") || !j.contains("tenant"))) {
@@ -90,7 +110,8 @@ bool check_events(const std::string& path, const std::string& text) {
     return fail(path, "header declares " + std::to_string(declared) +
                           " records, found " + std::to_string(records));
   }
-  std::cout << "ok " << path << " (" << records << " events)\n";
+  std::cout << "ok " << path << " (" << records << " events, serve-events/"
+            << (v2 ? "2" : "1") << ")\n";
   return true;
 }
 
@@ -133,19 +154,78 @@ bool check_serving(const std::string& path, const std::string& text) {
   return true;
 }
 
+bool check_fleet(const std::string& path, const std::string& text) {
+  const auto r = parse_json(text);
+  if (!r.ok) return fail(path, r.error);
+  const Json& doc = r.value;
+  // Accept both the bare report and the CLI envelope {"report": {...}}.
+  const Json& rep = doc.is_object() && doc.contains("report")
+                        ? doc.at("report")
+                        : doc;
+  if (!rep.is_object() || !rep.contains("schema") ||
+      rep.at("schema").as_string() != "fleet/1") {
+    return fail(path, "not a fleet/1 report");
+  }
+  for (const char* field :
+       {"fleet", "router", "replicas", "submitted", "completed", "rejected",
+        "shed", "timed_out", "failed", "queued", "routed", "cross_retries",
+        "hedges_launched", "reshards", "migrated", "redispatched", "chips"}) {
+    if (!rep.contains(field)) {
+      return fail(path, std::string("missing '") + field + "' field");
+    }
+  }
+  const std::uint64_t chips = rep.at("fleet").as_u64();
+  const Json& per_chip = rep.at("chips");
+  if (per_chip.size() != chips) {
+    return fail(path, "fleet declares " + std::to_string(chips) +
+                          " chips, 'chips' array has " +
+                          std::to_string(per_chip.size()));
+  }
+  for (std::size_t i = 0; i < per_chip.size(); ++i) {
+    const Json& c = per_chip[i];
+    if (!c.is_object() || !c.contains("schema") ||
+        c.at("schema").as_string() != "serving/2") {
+      return fail(path, "chip " + std::to_string(i) +
+                            " is not a serving/2 report");
+    }
+    if (!c.contains("chip") || c.at("chip").as_u64() != i) {
+      return fail(path, "chip " + std::to_string(i) +
+                            " report lacks (or misnumbers) its chip id");
+    }
+    if (!c.contains("backend")) {
+      return fail(path, "chip " + std::to_string(i) + " lacks backend");
+    }
+  }
+  // Final-fate conservation: every submitted request is counted exactly
+  // once by its terminal category.
+  const std::uint64_t fates =
+      rep.at("completed").as_u64() + rep.at("rejected").as_u64() +
+      rep.at("shed").as_u64() + rep.at("timed_out").as_u64() +
+      rep.at("failed").as_u64() + rep.at("queued").as_u64();
+  if (fates != rep.at("submitted").as_u64()) {
+    return fail(path, "fates sum to " + std::to_string(fates) +
+                          ", submitted is " +
+                          std::to_string(rep.at("submitted").as_u64()));
+  }
+  std::cout << "ok " << path << " (fleet/1, " << chips << " chips)\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kPlain, kEvents, kServing } mode = Mode::kPlain;
+  enum class Mode { kPlain, kEvents, kServing, kFleet } mode = Mode::kPlain;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--events") mode = Mode::kEvents;
     else if (a == "--serving") mode = Mode::kServing;
+    else if (a == "--fleet") mode = Mode::kFleet;
     else files.push_back(a);
   }
   if (files.empty()) {
-    std::cerr << "usage: json_check [--events|--serving] <file> [<file> ...]\n";
+    std::cerr << "usage: json_check [--events|--serving|--fleet] <file> "
+                 "[<file> ...]\n";
     return 2;
   }
   int failures = 0;
@@ -164,6 +244,7 @@ int main(int argc, char** argv) {
       case Mode::kPlain: ok = check_plain(path, text); break;
       case Mode::kEvents: ok = check_events(path, text); break;
       case Mode::kServing: ok = check_serving(path, text); break;
+      case Mode::kFleet: ok = check_fleet(path, text); break;
     }
     if (!ok) ++failures;
   }

@@ -53,6 +53,7 @@ bench_fault_campaign
 bench_runtime_service
 bench_chaos_serving
 bench_backend_throughput
+bench_fleet_serving
 "
 
 failures=0
