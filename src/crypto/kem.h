@@ -31,6 +31,7 @@ class KemScheme {
       : pke_(params) {}
 
   PkeScheme& pke() noexcept { return pke_; }
+  const PkeScheme& pke() const noexcept { return pke_; }
 
   std::pair<KemPublicKey, KemSecretKey> keygen(const Seed& seed) const;
 

@@ -162,6 +162,42 @@ Ciphertext BgvContext::relinearize(const Ciphertext2& c) {
   return out;
 }
 
+std::vector<ntt::Poly> BgvContext::keygen_threshold(unsigned parties) {
+  if (parties == 0) {
+    throw std::invalid_argument("threshold keygen needs at least one share");
+  }
+  std::vector<ntt::Poly> shares;
+  shares.reserve(parties);
+  ntt::Poly joint(params_.n);
+  for (unsigned k = 0; k < parties; ++k) {
+    ntt::Poly s = ntt::sample_ternary(params_.n, params_.q, rng_);
+    joint = ntt::poly_add(joint, s, params_.q);
+    shares.push_back(std::move(s));
+  }
+  sk_ = std::move(joint);
+  relin_key_.clear();
+  has_key_ = true;
+  return shares;
+}
+
+ntt::Poly BgvContext::partial_decryption(const Ciphertext& c,
+                                         const ntt::Poly& share) {
+  return mul(c.c1, share);
+}
+
+ntt::Poly BgvContext::aggregate_decrypt(
+    const Ciphertext& c, const std::vector<ntt::Poly>& partials) const {
+  ntt::Poly v = c.c0;
+  for (const auto& p : partials) v = ntt::poly_add(v, p, params_.q);
+  ntt::Poly m(params_.n);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::int64_t centered = ntt::centered(v[i], params_.q);
+    m[i] = static_cast<std::uint32_t>(
+        ((centered % params_.t) + params_.t) % params_.t);
+  }
+  return m;
+}
+
 double BgvContext::noise_budget_bits(const Ciphertext& c) const {
   const ntt::Poly v = noise_polynomial(c);
   std::int64_t worst = 1;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.h"
 #include "ntt/ntt.h"
@@ -79,6 +80,24 @@ class BgvContext {
   /// Worst-case remaining noise budget of a ciphertext in bits:
   /// log2(q / (2 * |noise|_inf * t)) — <= 0 means decryption may fail.
   double noise_budget_bits(const Ciphertext& c) const;
+
+  // -- threshold decryption (additive secret sharing) ------------------------
+  // The joint secret is s = sum_k s_k; by linearity of decryption,
+  // Dec(c) = c0 + c1*s = c0 + sum_k (c1*s_k), so each share holder can
+  // contribute its partial p_k = c1*s_k independently (one ring
+  // multiplication per holder — the fan-out the serving DAG models) and
+  // the host aggregates them without ever reconstructing s.
+
+  /// Sample `parties` ternary shares and install their sum as the secret
+  /// key. Returns the shares, one per holder. No relinearization key is
+  /// derived — the threshold flow never multiplies ciphertexts.
+  std::vector<ntt::Poly> keygen_threshold(unsigned parties);
+  /// One share holder's partial decryption p_k = c1 * s_k. Runs through
+  /// the pluggable multiplier, so a lane-backed hook sees every share.
+  ntt::Poly partial_decryption(const Ciphertext& c, const ntt::Poly& share);
+  /// Host-side join: ((c0 + sum p_k) mod q, centered) mod t.
+  ntt::Poly aggregate_decrypt(const Ciphertext& c,
+                              const std::vector<ntt::Poly>& partials) const;
 
  private:
   ntt::Poly mul(const ntt::Poly& a, const ntt::Poly& b);

@@ -15,6 +15,15 @@
 
 namespace cryptopim::runtime {
 
+/// Primitive op classes a protocol request compiles into (see
+/// runtime/protocol.h). Raw polymul requests never carry one.
+enum class OpClass : std::uint8_t {
+  kPolymul,    ///< full negacyclic multiply on a superbank lane
+  kNttLimb,    ///< one RNS limb of a wide multiply on a superbank lane
+  kSample,     ///< host-side Keccak/XOF sampling (no lane)
+  kAggregate,  ///< host-side join (CRT recombine / share aggregation)
+};
+
 struct Request {
   std::uint64_t id = 0;
   std::uint32_t tenant = 0;
@@ -33,6 +42,18 @@ struct Request {
   /// Retry attempts consumed so far (resilience layer); latency is still
   /// measured from the original arrival_cycle.
   unsigned attempts = 0;
+
+  // -- protocol DAG linkage (zero for classic raw-polymul requests) ----------
+  /// Owning protocol request id; 0 = raw polymul, not part of a DAG.
+  std::uint64_t proto_id = 0;
+  /// Position of this op in the compiled DAG (< 64).
+  std::uint32_t op_index = 0;
+  OpClass op_class = OpClass::kPolymul;
+  /// Nonzero: siblings sharing the group should land on distinct lanes.
+  std::uint32_t fanout_group = 0;
+  /// Bitmask over op indices that must complete before this op may
+  /// dispatch (the dependency frontier checks it against the done mask).
+  std::uint64_t parent_mask = 0;
 };
 
 }  // namespace cryptopim::runtime

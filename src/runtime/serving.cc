@@ -12,10 +12,15 @@
 #include "obs/trace.h"
 #include "reliability/verifier.h"
 #include "runtime/backend.h"
+#include "runtime/protocol_ops.h"
 
 namespace cryptopim::runtime {
 
 namespace {
+
+/// Lane index of a laneless protocol host op (sampling / aggregation):
+/// InFlight entries carrying it never touch lanes_.
+constexpr std::size_t kHostLane = ~std::size_t{0};
 
 /// Cycle geometry of one superbank lane configured for a degree class,
 /// derived from the same performance model the offline scheduler uses:
@@ -130,6 +135,9 @@ obs::Json ServingReport::to_json() const {
     j.set("chip_corruptions", chip_corruptions);
     j.set("chip_failed", chip_failed);
   }
+  // Protocol block: emitted only when a protocol workload ran, so the
+  // raw-polymul report stays byte-identical.
+  if (protocol_enabled) j.set("protocol", protocol.to_json());
   j.set("busy_bank_cycles", busy_bank_cycles);
   j.set("utilization", utilization);
   j.set("throughput_per_s", throughput_per_s);
@@ -255,6 +263,12 @@ void ServingRuntime::prime() {
   for (const auto& share : cfg_.workload.mix) {
     geometry_for(cfg_.chip, share.degree);  // throws on an invalid degree
   }
+  if (cfg_.protocol.enabled()) {
+    dag_ = compile_protocol(cfg_.protocol);  // throws on bad shares
+    geometry_for(cfg_.chip, dag_.lane_degree);
+  }
+  protos_.clear();
+  proto_harness_.reset();
 
   const double cyc_per_us = cfg_.cycles_per_us();
   const auto horizon =
@@ -282,6 +296,22 @@ void ServingRuntime::prime() {
 
   resilience_on_ = cfg_.resilience.enabled();
   report_.resilience_enabled = resilience_on_;
+
+  report_.protocol_enabled = cfg_.protocol.enabled();
+  if (report_.protocol_enabled) {
+    report_.protocol.kind = protocol_name(cfg_.protocol.kind);
+    if (cfg_.protocol.kind == ProtocolKind::kThreshold) {
+      report_.protocol.shares = cfg_.protocol.shares;
+    }
+    report_.protocol.ops_per_request =
+        static_cast<std::uint32_t>(dag_.ops.size());
+    // Joins verify functionally only when the backend can produce data
+    // (the analytic tier has nothing to check, like verify_result).
+    if (backend_->functional()) {
+      proto_harness_ =
+          std::make_unique<ProtocolHarness>(cfg_.protocol, backend_.get());
+    }
+  }
 
   const std::uint32_t tenants = std::max<std::uint32_t>(cfg_.workload.tenants, 1);
   tenant_usage_.assign(tenants, 0.0);
@@ -411,9 +441,40 @@ void ServingRuntime::emit_outcome(const Request& r, Outcome o) {
 std::vector<Request> ServingRuntime::extract_pending() {
   // Pending timeouts of migrated requests no-op: handle_timeout scans
   // pending_ by id and finds nothing.
+  if (!cfg_.protocol.enabled()) {
+    std::vector<Request> out;
+    out.swap(pending_);
+    report_.migrated += out.size();
+    return out;
+  }
+  // Protocol drain: only whole untouched DAGs migrate (the origin is
+  // re-expanded on the target chip). A protocol with any op dispatched,
+  // completed or in retry backoff keeps its remaining ops here — its
+  // in-flight work must join on this chip.
+  std::map<std::uint64_t, std::size_t> queued_ops;
+  for (const Request& r : pending_) queued_ops[r.proto_id] += 1;
+  std::set<std::uint64_t> movable;
+  for (const auto& [pid, st] : protos_) {
+    if (st.done_mask == 0 && queued_ops[pid] == st.op_count) {
+      movable.insert(pid);
+    }
+  }
+  std::vector<Request> keep;
+  std::uint64_t moved_ops = 0;
+  for (Request& r : pending_) {
+    if (movable.contains(r.proto_id)) {
+      moved_ops += 1;  // the op is dropped; its origin migrates whole
+    } else {
+      keep.push_back(std::move(r));
+    }
+  }
+  pending_ = std::move(keep);
   std::vector<Request> out;
-  out.swap(pending_);
-  report_.migrated += out.size();
+  for (const std::uint64_t pid : movable) {
+    out.push_back(std::move(protos_.at(pid).origin));
+    protos_.erase(pid);
+  }
+  report_.migrated += moved_ops;
   return out;
 }
 
@@ -423,15 +484,24 @@ std::vector<Request> ServingRuntime::crash_chip() {
   std::vector<Request> out;
   std::set<std::uint64_t> seen;
   for (const auto& [id, inf] : in_flight_) {
-    if (seen.insert(inf.request.id).second) out.push_back(inf.request);
+    if (inf.request.proto_id == 0 && seen.insert(inf.request.id).second) {
+      out.push_back(inf.request);
+    }
   }
   report_.lost_in_flight += in_flight_.size();
   in_flight_.clear();
   for (Request& r : pending_) {
-    if (seen.insert(r.id).second) out.push_back(std::move(r));
+    if (r.proto_id == 0 && seen.insert(r.id).second) {
+      out.push_back(std::move(r));
+    }
   }
   report_.migrated += pending_.size();
   pending_.clear();
+  // Protocol requests collapse to their origin: the crash loses every op
+  // (even ones in retry backoff — their re-enqueue finds no proto state)
+  // and the fleet re-dispatches the whole DAG exactly once.
+  for (auto& [pid, st] : protos_) out.push_back(std::move(st.origin));
+  protos_.clear();
   for (Lane& lane : lanes_) {
     lane.dead = true;
     lane.in_flight = 0;
@@ -480,6 +550,13 @@ void ServingRuntime::record_bad_outcome(const char* counter) {
 }
 
 void ServingRuntime::handle_arrival(const Event& e) {
+  // Protocol mode: every arrival (generated or fleet-injected) is a
+  // protocol-level request to compile into a DAG. Op retries re-enter
+  // through kRetryEnqueue, never through kArrival.
+  if (cfg_.protocol.enabled()) {
+    handle_proto_arrival(e);
+    return;
+  }
   Request r = e.request;
   report_.submitted += 1;
   TenantStats& ts = report_.tenants.at(r.tenant);
@@ -590,13 +667,155 @@ void ServingRuntime::handle_arrival(const Event& e) {
   try_dispatch();
 }
 
+// -- protocol DAG serving -----------------------------------------------------
+
+bool ServingRuntime::is_host_op(const Request& r) noexcept {
+  return r.proto_id != 0 && (r.op_class == OpClass::kSample ||
+                             r.op_class == OpClass::kAggregate);
+}
+
+bool ServingRuntime::proto_ready(const Request& r) const {
+  const auto it = protos_.find(r.proto_id);
+  if (it == protos_.end()) return false;  // proto failed: op is an orphan
+  return (it->second.done_mask & r.parent_mask) == r.parent_mask;
+}
+
+void ServingRuntime::handle_proto_arrival(const Event& e) {
+  const Request& origin = e.request;
+  const std::size_t n_ops = dag_.ops.size();
+  TenantStats& ts = report_.tenants.at(origin.tenant);
+  // The ledger stays at op granularity — the serving/2 conservation
+  // identities (submitted == admitted + rejected, ...) keep holding with
+  // primitive ops as the unit of work; the protocol block counts whole
+  // requests.
+  report_.submitted += n_ops;
+  ts.submitted += n_ops;
+  report_.protocol.requests += 1;
+  report_.queue_depth.add(pending_.size());
+  report_.series.count("submitted", now_, n_ops);
+  report_.series.observe("queue_depth", now_, pending_.size());
+  obs::metrics()
+      .histogram("cryptopim.runtime.queue_depth", "requests")
+      .add(pending_.size());
+
+  // Chain the next open-loop arrival before any admission decision.
+  if (workload_) {
+    Arrival this_arrival{e.cycle, origin};
+    if (auto next = workload_->next_after_arrival(this_arrival)) {
+      Event ne;
+      ne.cycle = next->cycle;
+      ne.kind = EventKind::kArrival;
+      ne.request = next->request;
+      events_.push(std::move(ne));
+    }
+  }
+
+  // All-or-nothing admission: the whole DAG must be servable and fit.
+  const auto reject = [&](const char* reason, std::uint64_t& counter) {
+    counter += n_ops;
+    ts.rejected += n_ops;
+    report_.protocol.rejected += 1;
+    record_bad_outcome("rejected");
+    if (elog_on()) {
+      obs::Json rec = ev_base("rejected", origin);
+      rec.set("reason", reason);
+      event_log_->log(std::move(rec));
+    }
+    emit_outcome(origin, Outcome::kRejected);
+  };
+  if (geometry_for(cfg_.chip, dag_.lane_degree).banks > usable_banks()) {
+    reject("unservable", report_.rejected_unservable);
+    return;
+  }
+  if (pending_.size() + n_ops > cfg_.queue_capacity) {
+    reject("queue_full", report_.rejected);
+    return;
+  }
+
+  report_.admitted += n_ops;
+  ts.admitted += n_ops;
+  report_.series.count("admitted", now_, n_ops);
+  if (retry_budget_) retry_budget_->on_admitted(origin.tenant);
+  const bool hard_deadline = resilience_on_ && cfg_.resilience.deadline_us > 0;
+
+  // Protocol ids are 1-based: proto_id == 0 is the raw-request sentinel
+  // on Request, and origin ids start at 0.
+  const std::uint64_t pid = origin.id + 1;
+  ProtoState st;
+  st.origin = origin;
+  st.op_count = static_cast<std::uint32_t>(n_ops);
+  protos_[pid] = std::move(st);
+
+  if (elog_on()) {
+    obs::Json rec = ev_base("admitted", origin);
+    rec.set("degree", std::uint64_t{dag_.lane_degree});
+    rec.set("protocol", report_.protocol.kind);
+    rec.set("ops", std::uint64_t{n_ops});
+    event_log_->log(std::move(rec));
+  }
+
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const ProtoOp& op = dag_.ops[i];
+    Request r = origin;
+    // Op ids order the DAG by (protocol arrival, op index) under every
+    // policy's older() tie-break, and stay unique: op_count <= 64.
+    r.id = (origin.id << 6) | i;
+    r.proto_id = pid;
+    r.op_index = static_cast<std::uint32_t>(i);
+    r.op_class = op.cls;
+    r.fanout_group = op.fanout_group;
+    r.parent_mask = op.parent_mask;
+    r.degree = op.degree;
+    const bool host =
+        op.cls == OpClass::kSample || op.cls == OpClass::kAggregate;
+    r.service_cycles = host ? cfg_.protocol.host_op_cycles
+                            : geometry_for(cfg_.chip, op.degree).service();
+    if (cfg_.deadline_slack > 0) {
+      r.deadline_cycle =
+          r.arrival_cycle +
+          static_cast<std::uint64_t>(cfg_.deadline_slack *
+                                     static_cast<double>(r.service_cycles));
+    }
+    if (hard_deadline) {
+      r.deadline_cycle =
+          r.arrival_cycle + static_cast<std::uint64_t>(
+                                cfg_.resilience.deadline_us *
+                                cfg_.cycles_per_us());
+      Event te;
+      te.cycle = r.deadline_cycle;
+      te.kind = EventKind::kTimeout;
+      te.dispatch_id = r.id;
+      events_.push(std::move(te));
+    }
+    if (elog_on()) {
+      obs::Json rec = ev_base("protocol_op", r);
+      rec.set("proto", pid);
+      rec.set("op", std::uint64_t{r.op_index});
+      rec.set("cls", op_class_name(op.cls));
+      if (op.parent_mask != 0) rec.set("parents", op.parent_mask);
+      if (op.fanout_group != 0) {
+        rec.set("group", std::uint64_t{op.fanout_group});
+      }
+      event_log_->log(std::move(rec));
+    }
+    pending_.push_back(std::move(r));
+  }
+  try_dispatch();
+}
+
 void ServingRuntime::try_dispatch() {
   std::set<std::uint32_t> blocked;
+  std::set<std::uint64_t> skipped;  // fan-out ops boxed out by siblings
   while (!pending_.empty()) {
     std::vector<bool> eligible(pending_.size());
     bool any = false;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
-      eligible[i] = !blocked.contains(pending_[i].degree);
+      const Request& p = pending_[i];
+      // Dependency frontier: a DAG op waits for its parents. Host ops
+      // never touch lanes, so a blocked degree class does not gate them.
+      eligible[i] = (is_host_op(p) || !blocked.contains(p.degree)) &&
+                    !skipped.contains(p.id) &&
+                    (p.proto_id == 0 || proto_ready(p));
       any = any || eligible[i];
     }
     if (!any) break;
@@ -605,10 +824,21 @@ void ServingRuntime::try_dispatch() {
     ctx.tenant_usage = tenant_usage_;
     const std::size_t idx = policy_->pick(pending_, eligible, ctx);
     if (idx == Policy::npos) break;
-    Lane* lane = acquire_lane(pending_[idx].degree);
-    if (!lane) {
-      blocked.insert(pending_[idx].degree);
-      continue;
+    const bool host = is_host_op(pending_[idx]);
+    Lane* lane = nullptr;
+    if (!host) {
+      lane = acquire_lane_for(pending_[idx]);
+      if (!lane) {
+        // A fan-out op may be boxed out only by its in-flight siblings;
+        // other work in the class can still run, so skip just this op (a
+        // sibling's completion re-runs dispatch with a smaller exclusion).
+        if (pending_[idx].fanout_group != 0) {
+          skipped.insert(pending_[idx].id);
+        } else {
+          blocked.insert(pending_[idx].degree);
+        }
+        continue;
+      }
     }
     // CoDel-style shedding at dequeue: when the minimum queueing sojourn
     // has stayed above target for a full interval, drop instead of
@@ -625,23 +855,56 @@ void ServingRuntime::try_dispatch() {
           rec.set("sojourn", sojourn);
           event_log_->log(std::move(rec));
         }
-        notify_request_gone(dropped);
-        emit_outcome(dropped, Outcome::kShed);
+        if (dropped.proto_id != 0) {
+          // Shedding one op sheds the protocol: siblings are useless.
+          fail_protocol(dropped.proto_id, Outcome::kShed);
+        } else {
+          notify_request_gone(dropped);
+          emit_outcome(dropped, Outcome::kShed);
+        }
         continue;
       }
     }
-    dispatch(idx, *lane);
+    if (host) {
+      dispatch_host(idx);
+    } else {
+      dispatch(idx, *lane);
+    }
   }
+}
+
+ServingRuntime::Lane* ServingRuntime::acquire_lane_for(const Request& r) {
+  if (r.proto_id == 0 || r.fanout_group == 0) return acquire_lane(r.degree);
+  // Fan-out op: never share a lane with an in-flight sibling of the same
+  // group — the point of the fan-out is limb/share parallelism across
+  // lanes. No deadlock risk: a sibling's completion re-runs dispatch
+  // with a smaller exclusion set (worst case the group serializes).
+  std::set<std::size_t> excl;
+  for (const auto& [id, inf] : in_flight_) {
+    if (inf.request.proto_id == r.proto_id &&
+        inf.request.fanout_group == r.fanout_group && inf.lane != kHostLane) {
+      excl.insert(inf.lane);
+    }
+  }
+  return acquire_lane(r.degree, excl, /*allow_scan=*/true);
 }
 
 ServingRuntime::Lane* ServingRuntime::acquire_lane(std::uint32_t degree,
                                                    std::size_t exclude,
                                                    bool allow_scan) {
+  std::set<std::size_t> excl;
+  if (exclude != static_cast<std::size_t>(-1)) excl.insert(exclude);
+  return acquire_lane(degree, excl, allow_scan);
+}
+
+ServingRuntime::Lane* ServingRuntime::acquire_lane(
+    std::uint32_t degree, const std::set<std::size_t>& exclude,
+    bool allow_scan) {
   Lane* free_now = nullptr;
   std::uint64_t soonest = ~std::uint64_t{0};
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     Lane& lane = lanes_[i];
-    if (lane.dead || lane.degree != degree || i == exclude) continue;
+    if (lane.dead || lane.degree != degree || exclude.contains(i)) continue;
     if (lane.draining) continue;  // worn: finishing up, remap pending
     if (!lane.breaker.can_accept(now_)) {
       // Open: re-scan when the open period elapses. Half-open with the
@@ -785,6 +1048,14 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
     rec.set("wait", t0 - r.arrival_cycle);
     if (r.attempts > 0) rec.set("attempt", std::uint64_t{r.attempts});
     if (is_probe) rec.set("probe", true);
+    if (r.proto_id != 0) {
+      // DAG linkage: the fan-out tests read these to check that sibling
+      // limb ops landed on distinct lanes.
+      rec.set("proto", r.proto_id);
+      rec.set("op", std::uint64_t{r.op_index});
+      rec.set("cls", op_class_name(r.op_class));
+      if (r.fanout_group != 0) rec.set("group", std::uint64_t{r.fanout_group});
+    }
     event_log_->log(std::move(rec));
   }
   auto& tr = obs::tracer();
@@ -825,11 +1096,178 @@ void ServingRuntime::dispatch(std::size_t queue_index, Lane& lane) {
   }
 }
 
+void ServingRuntime::dispatch_host(std::size_t queue_index) {
+  // A laneless host op (sampling / aggregation): fixed cycle cost, no
+  // bank accounting, no tenant fairness charge, no hedging or chaos —
+  // the host is outside the crossbar fault domain.
+  Request r = std::move(pending_[queue_index]);
+  pending_.erase(pending_.begin() + static_cast<long>(queue_index));
+  const std::uint64_t t0 = now_;
+  const std::uint64_t id = next_dispatch_id_++;
+  report_.protocol.host_ops += 1;
+  report_.series.count("dispatched", t0);
+  report_.series.observe("queue_wait_cycles", t0, t0 - r.arrival_cycle);
+  if (elog_on()) {
+    obs::Json rec = ev_base("dispatched", r);
+    rec.set("dispatch", id);
+    rec.set("host", true);
+    rec.set("wait", t0 - r.arrival_cycle);
+    rec.set("proto", r.proto_id);
+    rec.set("op", std::uint64_t{r.op_index});
+    rec.set("cls", op_class_name(r.op_class));
+    event_log_->log(std::move(rec));
+  }
+  const std::uint64_t service = std::max<std::uint64_t>(r.service_cycles, 1);
+  InFlight inf;
+  inf.request = std::move(r);
+  inf.lane = kHostLane;
+  inf.dispatched_at = t0;
+  in_flight_.emplace(id, std::move(inf));
+  Event e;
+  e.cycle = t0 + service;
+  e.kind = EventKind::kCompletion;
+  e.dispatch_id = id;
+  events_.push(std::move(e));
+}
+
+void ServingRuntime::complete_host_op(const Event& e, const InFlight& inf) {
+  const Request& r = inf.request;
+  const std::uint64_t latency = now_ - r.arrival_cycle;
+  report_.completed += 1;
+  report_.latency_cycles.add(latency);
+  report_.series.count("completed", now_);
+  report_.series.observe("latency_cycles", now_, latency);
+  report_.slo.record_good(now_, latency);
+  obs::metrics()
+      .histogram("cryptopim.runtime.latency_cycles", "cycles")
+      .add(latency);
+  TenantStats& ts = report_.tenants.at(r.tenant);
+  ts.completed += 1;
+  ts.latency_cycles.add(latency);
+  if (r.deadline_cycle > 0 && now_ > r.deadline_cycle) {
+    report_.deadline_misses += 1;
+    ts.deadline_misses += 1;
+  }
+  if (elog_on()) {
+    obs::Json rec = ev_base("completed", r);
+    rec.set("dispatch", e.dispatch_id);
+    rec.set("host", true);
+    rec.set("latency", latency);
+    event_log_->log(std::move(rec));
+  }
+  on_op_complete(r, inf.dispatched_at);
+  try_dispatch();
+}
+
+void ServingRuntime::on_op_complete(const Request& r,
+                                    std::uint64_t dispatched_at) {
+  const auto it = protos_.find(r.proto_id);
+  if (it == protos_.end()) return;  // proto already failed: straggler op
+  ProtoState& st = it->second;
+  const std::uint64_t bit = std::uint64_t{1} << r.op_index;
+  if (st.done_mask & bit) return;  // hedge twin already delivered this op
+  st.done_mask |= bit;
+  st.ops_done += 1;
+  report_.protocol.ops_completed += 1;
+  report_.protocol.op_cycles[static_cast<unsigned>(r.op_class)].add(
+      now_ - dispatched_at);
+  if (st.ops_done < st.op_count) {
+    return;  // the caller's try_dispatch releases the unblocked children
+  }
+
+  // Final op: the DAG joins and the protocol request completes exactly
+  // once. Verified requests run the whole flow through the backend here
+  // and compare against the pure-host reference.
+  const ProtoState done = std::move(st);
+  protos_.erase(it);
+  const std::uint64_t latency = now_ - done.origin.arrival_cycle;
+  report_.protocol.completed += 1;
+  report_.protocol.latency_cycles.add(latency);
+  bool ok = true;
+  if (done.origin.verify && proto_harness_) {
+    report_.protocol.joins += 1;
+    ok = proto_harness_->verify(done.origin.data_seed);
+    if (ok) {
+      report_.verified += 1;
+    } else {
+      report_.protocol.join_mismatches += 1;
+      report_.verify_failures += 1;
+    }
+  }
+  if (elog_on()) {
+    obs::Json rec = ev_base("join", done.origin);
+    rec.set("proto", done.origin.id + 1);
+    rec.set("ops", std::uint64_t{done.op_count});
+    rec.set("latency", latency);
+    rec.set("ok", ok);
+    event_log_->log(std::move(rec));
+  }
+  emit_outcome(done.origin, Outcome::kCompleted);
+  if (workload_) {
+    if (auto next = workload_->next_after_completion(done.origin, now_)) {
+      Event ne;
+      ne.cycle = next->cycle;
+      ne.kind = EventKind::kArrival;
+      ne.request = next->request;
+      events_.push(std::move(ne));
+    }
+  }
+}
+
+void ServingRuntime::fail_protocol(std::uint64_t proto_id, Outcome o) {
+  const auto it = protos_.find(proto_id);
+  if (it == protos_.end()) return;  // already terminal: exactly-once guard
+  const ProtoState st = std::move(it->second);
+  protos_.erase(it);
+  // Cancel every sibling op still queued or in flight; the op that died
+  // already recorded its own bad-outcome counters.
+  std::uint64_t cancelled = 0;
+  for (auto p = pending_.begin(); p != pending_.end();) {
+    if (p->proto_id == proto_id) {
+      cancelled += 1;
+      p = pending_.erase(p);
+    } else {
+      ++p;
+    }
+  }
+  for (auto f = in_flight_.begin(); f != in_flight_.end();) {
+    if (f->second.request.proto_id != proto_id) {
+      ++f;
+      continue;
+    }
+    if (f->second.lane != kHostLane) {
+      Lane& lane = lanes_[f->second.lane];
+      lane.in_flight -= 1;
+      if (resilience_on_ && f->second.is_probe) {
+        // Same hazard as cancel_in_flight: a cancelled half-open probe
+        // reports no outcome and would wedge the breaker.
+        lane.breaker.note_cancelled(now_);
+      }
+    }
+    cancelled += 1;
+    f = in_flight_.erase(f);  // its kCompletion event will find nothing
+  }
+  report_.protocol.ops_cancelled += cancelled;
+  report_.protocol.failed += 1;
+  if (elog_on()) {
+    obs::Json rec = ev_base("proto_failed", st.origin);
+    rec.set("proto", st.origin.id + 1);
+    rec.set("ops_cancelled", cancelled);
+    event_log_->log(std::move(rec));
+  }
+  notify_request_gone(st.origin);
+  emit_outcome(st.origin, o);
+}
+
 void ServingRuntime::handle_completion(const Event& e) {
   const auto it = in_flight_.find(e.dispatch_id);
   if (it == in_flight_.end()) return;  // cancelled (bank failure / hedge)
   const InFlight inf = std::move(it->second);
   in_flight_.erase(it);
+  if (inf.lane == kHostLane) {
+    complete_host_op(e, inf);
+    return;
+  }
   Lane& lane = lanes_[inf.lane];
   lane.in_flight -= 1;
 
@@ -867,8 +1305,12 @@ void ServingRuntime::handle_completion(const Event& e) {
       report_.chip_failed += 1;
       record_bad_outcome("failed");
       if (elog_on()) event_log_->log(ev_base("failed", r));
-      notify_request_gone(r);
-      emit_outcome(r, Outcome::kFailed);
+      if (r.proto_id != 0) {
+        fail_protocol(r.proto_id, Outcome::kFailed);
+      } else {
+        notify_request_gone(r);
+        emit_outcome(r, Outcome::kFailed);
+      }
     }
     try_dispatch();
     return;
@@ -892,8 +1334,12 @@ void ServingRuntime::handle_completion(const Event& e) {
         report_.resilience.failed += 1;
         record_bad_outcome("failed");
         if (elog_on()) event_log_->log(ev_base("failed", r));
-        notify_request_gone(r);
-        emit_outcome(r, Outcome::kFailed);
+        if (r.proto_id != 0) {
+          fail_protocol(r.proto_id, Outcome::kFailed);
+        } else {
+          notify_request_gone(r);
+          emit_outcome(r, Outcome::kFailed);
+        }
       }
       try_dispatch();
       return;
@@ -939,10 +1385,17 @@ void ServingRuntime::handle_completion(const Event& e) {
     tr.flow('f', r.id, lanes_[inf.lane].track, "req " + std::to_string(r.id),
             "flow", now_);
   }
-  if (r.verify) verify_result(r);
+  // DAG ops verify at the protocol join (the whole flow through the
+  // backend), not per-op with Freivalds.
+  if (r.verify && r.proto_id == 0) verify_result(r);
 
   if (resilience_on_ && lane.draining && lane.in_flight == 0) {
     remap_drained_lane(lane, inf.lane);
+  }
+  if (r.proto_id != 0) {
+    on_op_complete(r, inf.dispatched_at);
+    try_dispatch();
+    return;
   }
   emit_outcome(r, Outcome::kCompleted);
 
@@ -989,6 +1442,10 @@ void ServingRuntime::handle_bank_failure(const Event&) {
   // delivers), and teardown retries flow through the backoff + budget
   // path so repeated failures cannot amplify into a storm.
   auto requeue_victim = [this](const InFlight& inf) {
+    if (inf.request.proto_id != 0 &&
+        !protos_.contains(inf.request.proto_id)) {
+      return;  // its protocol was already torn down whole this failure
+    }
     if (elog_on()) {
       obs::Json rec = ev_base("torn_down", inf.request);
       rec.set("lane", std::uint64_t{inf.lane});
@@ -1010,8 +1467,12 @@ void ServingRuntime::handle_bank_failure(const Event&) {
         report_.resilience.failed += 1;
         record_bad_outcome("failed");
         if (elog_on()) event_log_->log(ev_base("failed", inf.request));
-        notify_request_gone(inf.request);
-        emit_outcome(inf.request, Outcome::kFailed);
+        if (inf.request.proto_id != 0) {
+          fail_protocol(inf.request.proto_id, Outcome::kFailed);
+        } else {
+          notify_request_gone(inf.request);
+          emit_outcome(inf.request, Outcome::kFailed);
+        }
       }
       return;
     }
@@ -1020,18 +1481,30 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     report_.series.count("retries", now_);
   };
 
-  Lane* victim = pick_victim();
-  if (victim) {
-    const std::size_t victim_idx =
-        static_cast<std::size_t>(victim - lanes_.data());
+  // Torn-down entries are removed from in_flight_ *before* any requeue
+  // runs: a protocol-op requeue that exhausts its retries tears the whole
+  // protocol down (fail_protocol erases sibling in_flight_ entries), so
+  // requeueing while iterating the map would invalidate the iterator.
+  // Hedged twins always sit on distinct lanes, so a same-sweep pair is
+  // impossible and the first-wins drop logic is unaffected.
+  auto tear_down_lane = [this, &requeue_victim](std::size_t lane_idx) {
+    std::vector<InFlight> torn;
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-      if (it->second.lane == victim_idx) {
-        requeue_victim(it->second);
+      if (it->second.lane == lane_idx) {
+        torn.push_back(std::move(it->second));
         it = in_flight_.erase(it);
       } else {
         ++it;
       }
     }
+    for (const InFlight& inf : torn) requeue_victim(inf);
+  };
+
+  Lane* victim = pick_victim();
+  if (victim) {
+    const std::size_t victim_idx =
+        static_cast<std::size_t>(victim - lanes_.data());
+    tear_down_lane(victim_idx);
     victim->in_flight = 0;
     report_.repartitions += 1;
     auto& tr = obs::tracer();
@@ -1056,14 +1529,7 @@ void ServingRuntime::handle_bank_failure(const Event&) {
     Lane* next = pick_victim();
     if (!next) break;
     const std::size_t idx = static_cast<std::size_t>(next - lanes_.data());
-    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-      if (it->second.lane == idx) {
-        requeue_victim(it->second);
-        it = in_flight_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    tear_down_lane(idx);
     next->in_flight = 0;
     next->dead = true;
     allocated_banks_ -= next->banks;
@@ -1125,6 +1591,11 @@ void ServingRuntime::handle_timeout(const Event& e) {
     report_.resilience.timed_out += 1;
     record_bad_outcome("timed_out");
     if (elog_on()) event_log_->log(ev_base("timed_out", r));
+    if (r.proto_id != 0) {
+      // One op past its deadline times the whole protocol out.
+      fail_protocol(r.proto_id, Outcome::kTimedOut);
+      return;
+    }
     notify_request_gone(r);
     emit_outcome(r, Outcome::kTimedOut);
     return;
@@ -1134,6 +1605,9 @@ void ServingRuntime::handle_timeout(const Event& e) {
 void ServingRuntime::handle_retry_enqueue(const Event& e) {
   // Retries re-enter the queue past the capacity check: the request was
   // already admitted (and counted) once; capacity governs new work.
+  if (e.request.proto_id != 0 && !protos_.contains(e.request.proto_id)) {
+    return;  // its protocol was torn down while the retry backed off
+  }
   pending_.push_back(e.request);
   try_dispatch();
 }
@@ -1463,6 +1937,25 @@ void ServingRuntime::publish_metrics() const {
   reg.counter("cryptopim.runtime.busy_bank_cycles", "bank-cycles")
       .add(report_.busy_bank_cycles);
   if (report_.resilience_enabled) report_.resilience.publish();
+  if (report_.protocol_enabled) {
+    const ProtocolStats& p = report_.protocol;
+    reg.counter("cryptopim.runtime.protocol.requests", "requests")
+        .add(p.requests);
+    reg.counter("cryptopim.runtime.protocol.completed", "requests")
+        .add(p.completed);
+    reg.counter("cryptopim.runtime.protocol.failed", "requests").add(p.failed);
+    reg.counter("cryptopim.runtime.protocol.host_ops", "ops").add(p.host_ops);
+    reg.counter("cryptopim.runtime.protocol.joins", "joins").add(p.joins);
+    reg.counter("cryptopim.runtime.protocol.join_mismatches", "joins")
+        .add(p.join_mismatches);
+    for (unsigned c = 0; c < 4; ++c) {
+      if (p.op_cycles[c].count() == 0) continue;
+      reg.histogram(std::string("cryptopim.runtime.protocol.op_cycles.") +
+                        op_class_name(static_cast<OpClass>(c)),
+                    "cycles")
+          .merge(p.op_cycles[c]);
+    }
+  }
 }
 
 }  // namespace cryptopim::runtime

@@ -61,6 +61,7 @@
 #include "obs/timeseries.h"
 #include "runtime/event_queue.h"
 #include "runtime/policy.h"
+#include "runtime/protocol.h"
 #include "runtime/request.h"
 #include "runtime/resilience.h"
 #include "runtime/workload.h"
@@ -68,6 +69,7 @@
 namespace cryptopim::runtime {
 
 class ExecutionBackend;  // runtime/backend.h
+class ProtocolHarness;   // runtime/protocol_ops.h
 
 /// Trace track ids used by the runtime: base + lane index (base itself
 /// is the control track carrying repartition/failure spans). Disjoint
@@ -120,6 +122,12 @@ struct ServingConfig {
   double duration_us = 5000.0;
   /// deadline = arrival + slack * service estimate; 0 = no deadlines.
   double deadline_slack = 0.0;
+
+  // -- protocol workload (runtime/protocol.h; kNone = classic raw polymul) ----
+  /// When enabled, every arrival is a protocol-level request compiled
+  /// into a DAG of primitive ops with dependency-aware dispatch; the
+  /// workload mix is expected to be pinned to the protocol's lane degree.
+  ProtocolSpec protocol;
 
   // -- admission and partitioning --------------------------------------------
   std::size_t queue_capacity = 1024;
@@ -207,6 +215,14 @@ struct ServingReport {
   std::uint64_t lost_in_flight = 0;   ///< in-flight torn down by a chip crash
   std::uint64_t chip_corruptions = 0; ///< corruption-storm results detected
   std::uint64_t chip_failed = 0;      ///< surrendered to the fleet for retry
+
+  /// Protocol-level ledger (populated, and emitted in to_json, only when
+  /// a protocol workload ran — raw-polymul reports stay byte-identical).
+  /// The main counters above then count primitive *ops*, so the serving
+  /// conservation identities keep holding with ops as the unit of work;
+  /// this block counts whole protocol requests.
+  bool protocol_enabled = false;
+  ProtocolStats protocol;
 
   std::uint64_t busy_bank_cycles = 0;
   double utilization = 0;       ///< busy bank-cycles / (banks x drain time)
@@ -329,6 +345,8 @@ class ServingRuntime {
   Lane* acquire_lane(std::uint32_t degree,
                      std::size_t exclude = static_cast<std::size_t>(-1),
                      bool allow_scan = true);
+  Lane* acquire_lane(std::uint32_t degree,
+                     const std::set<std::size_t>& exclude, bool allow_scan);
   Lane* carve_lane(std::uint32_t degree);
   /// Returns banks of idle lanes (no in-flight work, nothing pending in
   /// their class) to the free pool until `needed` banks are available.
@@ -383,6 +401,35 @@ class ServingRuntime {
   void arm_health_tick(std::uint64_t cycle);
   void arm_chaos_episode();
 
+  // -- protocol DAG serving (inert when cfg_.protocol is disabled) -------------
+  /// Live state of one admitted protocol request: its origin (what the
+  /// fleet re-dispatches whole) and the dependency frontier's done mask.
+  struct ProtoState {
+    Request origin;
+    std::uint32_t op_count = 0;
+    std::uint32_t ops_done = 0;
+    std::uint64_t done_mask = 0;
+  };
+  /// Protocol-mode arrival: all-or-nothing admission of the whole DAG.
+  void handle_proto_arrival(const Event& e);
+  /// Frontier check: all of the op's parents completed.
+  bool proto_ready(const Request& r) const;
+  static bool is_host_op(const Request& r) noexcept;
+  /// Lane acquisition honouring fan-out groups: a fan-out op never
+  /// shares a lane with an in-flight sibling of the same group.
+  Lane* acquire_lane_for(const Request& r);
+  /// Dispatch a laneless host op (sampling / aggregation) at the fixed
+  /// host_op_cycles cost.
+  void dispatch_host(std::size_t queue_index);
+  void complete_host_op(const Event& e, const InFlight& inf);
+  /// Mark one op done; on the last op, run the functional join and emit
+  /// the protocol request's single good outcome.
+  void on_op_complete(const Request& r, std::uint64_t dispatched_at);
+  /// Exactly-once protocol teardown: cancel every queued and in-flight
+  /// sibling op and emit the origin's single bad outcome. Idempotent
+  /// (keyed on protos_ erase), so straggler op failures are no-ops.
+  void fail_protocol(std::uint64_t proto_id, Outcome o);
+
   ServingConfig cfg_;
   std::unique_ptr<Policy> policy_;
   std::unique_ptr<ExecutionBackend> backend_;
@@ -395,6 +442,11 @@ class ServingRuntime {
   std::vector<Lane> lanes_;
   std::map<std::uint64_t, InFlight> in_flight_;
   std::uint64_t next_dispatch_id_ = 1;
+
+  // -- protocol state (empty when cfg_.protocol is disabled) -------------------
+  ProtoDag dag_;
+  std::map<std::uint64_t, ProtoState> protos_;
+  std::unique_ptr<ProtocolHarness> proto_harness_;
 
   // -- resilience state (inert when cfg_.resilience.enabled() is false) -------
   bool resilience_on_ = false;

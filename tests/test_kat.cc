@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "crypto/kem.h"
 #include "ntt/ntt.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
 #include "ntt/reduction.h"
+#include "runtime/backend.h"
 #include "sim/simulator.h"
 
 namespace cryptopim {
@@ -99,6 +101,36 @@ TEST(Kat, SimulatorCycleAndMicroOpCounts) {
   EXPECT_EQ(simu.report().wall_cycles, 44321u);
   EXPECT_EQ(simu.report().totals.micro_ops, 32780u);
   EXPECT_EQ(simu.report().totals.cell_events, 9206784u);
+}
+
+TEST(Kat, KemRoundTripThroughWordBackend) {
+  // Full KEM handshake with every ring multiplication on the word-level
+  // execution backend, bit-exact against the pure-host reference: same
+  // ciphertext, same shared key on both sides.
+  const crypto::KemScheme host;
+  crypto::Seed ks{}, es{};
+  ks.fill(0x20);
+  es.fill(0x06);
+  const auto [hpk, hsk] = host.keygen(ks);
+  const auto [hct, hkey] = host.encapsulate(hpk, es);
+
+  crypto::KemScheme accel;
+  const auto backend = runtime::make_backend("word");
+  ASSERT_TRUE(backend && backend->functional());
+  const crypto::PkeParams& pp = host.pke().params();
+  const ntt::NttParams ring = ntt::NttParams::make(pp.n, pp.q);
+  accel.pke().set_multiplier(
+      [&backend, ring](const ntt::Poly& a, const ntt::Poly& b) {
+        return backend->execute(ring, a, b).product;
+      });
+  const auto [pk, sk] = accel.keygen(ks);
+  const auto [ct, key_enc] = accel.encapsulate(pk, es);
+  const auto key_dec = accel.decapsulate(sk, ct);
+  EXPECT_EQ(ct.u, hct.u);
+  EXPECT_EQ(ct.v, hct.v);
+  EXPECT_EQ(key_enc, hkey);
+  EXPECT_EQ(key_dec, hkey);
+  EXPECT_EQ(host.decapsulate(hsk, hct), hkey);
 }
 
 TEST(Kat, RngStream) {

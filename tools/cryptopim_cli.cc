@@ -64,7 +64,8 @@ void print_usage(std::ostream& os) {
         "  cryptopim schedule <degree:count> [<degree:count> ...]\n"
         "  cryptopim kem [--seed S]\n"
         "  cryptopim serve [--arrival-rate R] [--policy P] [--duration US]\n"
-        "                  [--deadline US] [--chaos] [--fleet N] [...]\n"
+        "                  [--deadline US] [--chaos] [--fleet N]\n"
+        "                  [--protocol kem|bgv-mul|threshold] [...]\n"
         "                                  (see `cryptopim serve --help`)\n"
         "global flags: --json, --trace=FILE, --version, --help\n";
 }
@@ -166,6 +167,20 @@ int serve_help() {
          "                       simulated us (0 = off)\n"
          "  --kill-chip I        which chip --kill-chip-at crashes\n"
          "                       (default 0)\n"
+         "\n"
+         "protocol (DAG-shaped requests instead of raw polymuls):\n"
+         "  --protocol P         kem | bgv-mul | threshold: each arrival is\n"
+         "                       a protocol request compiled into a DAG of\n"
+         "                       primitive ops (polymul / ntt-limb / sample\n"
+         "                       / aggregate) with dependency-aware\n"
+         "                       dispatch; fan-out ops land on distinct\n"
+         "                       lanes, joins recombine host-side and are\n"
+         "                       checked against the pure-host reference\n"
+         "                       when the request carries --verify-every\n"
+         "                       data. Overrides --degrees with the\n"
+         "                       protocol's ring degree\n"
+         "  --shares K           threshold share-holder count, 2..62\n"
+         "                       (default 3; requires --protocol threshold)\n"
          "\n"
          "observability:\n"
          "  --events PATH        write the request-lifecycle event log as\n"
@@ -606,6 +621,33 @@ int cmd_serve(const Options& opt) {
     }
     return false;
   };
+
+  // -- protocol: DAG-shaped requests replace raw polymuls ---------------------
+  const auto protocol_name = take_value(args, "--protocol");
+  const bool shares_given = flag_present("--shares");
+  const auto shares = take_u64(args, "--shares", 3, cp::runtime::kMinShares,
+                               cp::runtime::kMaxShares);
+  if (protocol_name) {
+    const auto kind = cp::runtime::parse_protocol(*protocol_name);
+    if (!kind) {
+      throw UsageError("unknown protocol '" + *protocol_name +
+                       "' (expected one of: kem, bgv-mul, threshold)");
+    }
+    cfg.protocol.kind = *kind;
+    cfg.protocol.shares = static_cast<std::uint32_t>(shares);
+    if (shares_given && *kind != cp::runtime::ProtocolKind::kThreshold) {
+      throw UsageError("--shares requires --protocol threshold");
+    }
+    // Every lane op in a protocol DAG runs at the protocol's ring
+    // degree; the degree mix collapses to that one class.
+    cfg.workload.mix = {
+        {*kind == cp::runtime::ProtocolKind::kKem ? cp::runtime::kKemDegree
+                                                  : cp::runtime::kBgvDegree,
+         1.0}};
+  } else if (shares_given) {
+    throw UsageError("--shares requires --protocol threshold");
+  }
+
   const bool retries_given = flag_present("--retries");
   const bool retry_budget_given = flag_present("--retry-budget");
   const bool hedge_given =
@@ -885,6 +927,29 @@ int cmd_serve(const Options& opt) {
                 << " episodes, " << cp::fmt_i(rs.detected_corruptions)
                 << " corruptions detected, " << cp::fmt_i(rs.wrong_accepted)
                 << " wrong accepted\n";
+    }
+    if (rep.protocol_enabled) {
+      const auto& ps = rep.protocol;
+      std::cout << "protocol:    " << ps.kind;
+      if (ps.shares > 0) std::cout << " (" << ps.shares << " shares)";
+      std::cout << ", " << ps.ops_per_request << " ops/request\n"
+                << "  requests:  " << cp::fmt_i(ps.requests) << " ("
+                << cp::fmt_i(ps.completed) << " completed, "
+                << cp::fmt_i(ps.failed) << " failed, "
+                << cp::fmt_i(ps.rejected) << " rejected)\n"
+                << "  ops:       " << cp::fmt_i(ps.ops_completed)
+                << " completed, " << cp::fmt_i(ps.ops_cancelled)
+                << " cancelled, " << cp::fmt_i(ps.host_ops)
+                << " host-side\n"
+                << "  joins:     " << cp::fmt_i(ps.joins) << " checked, "
+                << cp::fmt_i(ps.join_mismatches) << " mismatched\n"
+                << "  latency:   p50 "
+                << cp::fmt_i(static_cast<std::uint64_t>(
+                       ps.latency_cycles.quantile(0.5)))
+                << " cyc, p99 "
+                << cp::fmt_i(static_cast<std::uint64_t>(
+                       ps.latency_cycles.quantile(0.99)))
+                << " cyc\n";
     }
     cp::Table t({"tenant", "weight", "admitted", "completed", "bank-cycles",
                  "p50 (cyc)", "p99 (cyc)"});

@@ -98,11 +98,22 @@ bool check_events(const std::string& path, const std::string& text) {
       return fail(path, "line " + std::to_string(lineno) +
                             ": serve-events/2 record lacks chip");
     }
-    if (!kControl.contains(j.at("ev").as_string()) &&
+    const std::string ev = j.at("ev").as_string();
+    if (!kControl.contains(ev) &&
         (!j.contains("trace") || !j.contains("tenant"))) {
-      return fail(path, "line " + std::to_string(lineno) + ": '" +
-                            j.at("ev").as_string() +
+      return fail(path, "line " + std::to_string(lineno) + ": '" + ev +
                             "' record lacks trace/tenant");
+    }
+    // Protocol DAG records: per-op identity on protocol_op, join verdict
+    // on the request's host-side recombination.
+    if (ev == "protocol_op" &&
+        (!j.contains("proto") || !j.contains("op") || !j.contains("cls"))) {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": protocol_op record lacks proto/op/cls");
+    }
+    if (ev == "join" && (!j.contains("ok") || !j.contains("ops"))) {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": join record lacks ok/ops");
     }
   }
   if (lineno == 0) return fail(path, "empty event log");
@@ -147,6 +158,37 @@ bool check_serving(const std::string& path, const std::string& text) {
     if (!slo.contains("schema") || slo.at("schema").as_string() != "slo/1" ||
         !slo.contains("summary") || !slo.contains("windows")) {
       return fail(path, "slo is not a slo/1 document");
+    }
+  }
+  // Protocol block (present only for --protocol runs): DAG-granularity
+  // request accounting over the op-granularity main counters.
+  if (rep.contains("protocol")) {
+    const Json& proto = rep.at("protocol");
+    if (!proto.is_object()) return fail(path, "protocol is not an object");
+    if (!proto.contains("kind")) return fail(path, "protocol lacks 'kind'");
+    const std::string kind = proto.at("kind").as_string();
+    if (kind != "kem" && kind != "bgv-mul" && kind != "threshold") {
+      return fail(path, "unknown protocol kind '" + kind + "'");
+    }
+    for (const char* f :
+         {"ops_per_request", "requests", "completed", "failed", "rejected",
+          "ops_completed", "ops_cancelled", "host_ops", "joins",
+          "join_mismatches"}) {
+      if (!proto.contains(f)) {
+        return fail(path, std::string("protocol lacks '") + f + "'");
+      }
+    }
+    if (!proto.contains("latency") || !proto.at("latency").is_object()) {
+      return fail(path, "protocol lacks a 'latency' histogram");
+    }
+    if (!proto.contains("op_classes") ||
+        !proto.at("op_classes").is_array()) {
+      return fail(path, "protocol lacks an 'op_classes' array");
+    }
+    for (const Json& row : proto.at("op_classes").items()) {
+      if (!row.contains("cls")) {
+        return fail(path, "protocol op_classes entry lacks 'cls'");
+      }
     }
   }
   std::cout << "ok " << path << " (serving/2, "

@@ -54,6 +54,7 @@ bench_runtime_service
 bench_chaos_serving
 bench_backend_throughput
 bench_fleet_serving
+bench_protocol_serving
 "
 
 failures=0
