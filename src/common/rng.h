@@ -50,6 +50,19 @@ class Xoshiro256 {
     return bits >= 64 ? next() : (next() & ((std::uint64_t{1} << bits) - 1));
   }
 
+  /// Non-advancing fold of the internal state — a position fingerprint
+  /// for snapshot cross-checks. Two generators with equal digests have
+  /// consumed the same stream prefix from the same seed.
+  std::uint64_t digest() const noexcept {
+    std::uint64_t d = 0x243f6a8885a308d3ull;
+    for (const std::uint64_t s : state_) {
+      d ^= s;
+      d *= 0x100000001b3ull;
+      d = rotl(d, 29);
+    }
+    return d;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

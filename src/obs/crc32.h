@@ -1,0 +1,43 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), header-only.
+//
+// Used to frame durability records: every write-ahead journal line and
+// snapshot document carries the checksum of its payload so a reader can
+// distinguish "torn tail from a crash mid-write" (tolerated) from
+// "corruption in the middle of the file" (rejected). Table-driven,
+// byte-at-a-time — fast enough for per-record framing and dependency-free
+// so both the runtime and the standalone validators (tools/json_check)
+// share one implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cryptopim::obs {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `bytes` (check value: crc32("123456789") == 0xCBF43926).
+inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = detail::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cryptopim::obs

@@ -17,9 +17,23 @@
 // stay unconditional in the runtime; a disabled log drops records at
 // the door. Determinism: records carry only event-clock cycles and
 // stable ids, so the same seed + config yields byte-identical output.
+//
+// Durability: the buffered mode (log + write_jsonl at the end of the
+// run) loses everything on abnormal termination — untenable next to a
+// crash-recoverable runtime. open_stream() instead writes each record
+// as it is logged, with a {"schema":"serve-events/2","streamed":true}
+// header (no up-front "records" count: the total is unknowable while
+// streaming). Control records — cluster-level transitions with no
+// "trace" field (carve, bank_failure, chip_crash, reshard, ...) — are
+// flushed to the OS as they land, so after a crash the log is always a
+// parseable prefix whose control history is complete; the opt-in
+// line-buffered mode flushes *every* record for a fully-synced (slower)
+// log. Both modes still buffer in memory, so records()/to_jsonl() keep
+// working for in-process consumers.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -32,14 +46,28 @@ class EventLog {
   bool enabled() const noexcept { return enabled_; }
   void set_enabled(bool on) noexcept { enabled_ = on; }
 
-  /// Drops all buffered records (keeps the enabled flag).
+  /// Drops all buffered records (keeps the enabled flag and any open
+  /// stream — a fleet clears once before priming, after the CLI opened
+  /// the stream).
   void clear() { records_.clear(); }
 
-  /// Appends one record. No-op when disabled.
+  /// Appends one record. No-op when disabled. With an open stream the
+  /// record's line is also written out immediately (flushed when it is a
+  /// control record or the stream is line-buffered).
   void log(Json record);
 
   std::size_t size() const noexcept { return records_.size(); }
   const std::vector<Json>& records() const noexcept { return records_; }
+
+  /// Switches to streamed output: truncates `path`, writes the streamed
+  /// header, and mirrors every subsequent record to the file as it is
+  /// logged. `line_buffered` flushes after every record (default: only
+  /// after control records). Enables the log. Throws std::runtime_error
+  /// on I/O error.
+  void open_stream(const std::string& path, bool line_buffered);
+  bool streaming() const noexcept { return stream_.is_open(); }
+  /// Final flush + close; the file is already complete (no trailer).
+  void close_stream();
 
   /// Header line followed by one compact JSON object per record.
   std::string to_jsonl() const;
@@ -48,6 +76,9 @@ class EventLog {
 
  private:
   bool enabled_ = false;
+  bool line_buffered_ = false;
+  std::ofstream stream_;
+  std::string stream_path_;
   std::vector<Json> records_;
 };
 

@@ -1,7 +1,11 @@
 #include "runtime/fleet.h"
 
 #include <algorithm>
+#include <csignal>
+#include <filesystem>
 #include <stdexcept>
+
+#include "runtime/snapshot.h"
 
 namespace cryptopim::runtime {
 
@@ -203,6 +207,17 @@ void FleetRuntime::prime() {
 
   if (event_log_) event_log_->clear();
 
+  if (durab_.enabled()) {
+    std::filesystem::create_directories(durab_.dir);
+    fleet_journal_ = std::make_unique<Journal>();
+    fleet_journal_->open(
+        durab_.dir + "/fleet.log",
+        Journal::header_payload("fleet", 0, cfg_.chip.workload.seed,
+                                fleet_config_to_json(cfg_)),
+        durab_.recover);
+    chip_journals_.clear();
+  }
+
   chips_.clear();
   states_.assign(cfg_.chips, ChipState{});
   for (std::uint32_t i = 0; i < cfg_.chips; ++i) {
@@ -212,12 +227,27 @@ void FleetRuntime::prime() {
     // De-correlate per-lane chaos across chips: with one shared seed every
     // chip would strike in lockstep, defeating replication.
     if (cc.resilience.chaos.enabled) cc.resilience.chaos.seed += i;
+    // Per-chip journal header: fingerprints the chip's *effective* config
+    // (post chip_id / chaos-seed rewrite), built before the move below.
+    std::string chip_hdr;
+    if (durab_.enabled()) {
+      chip_hdr = Journal::header_payload("chip", i, cc.workload.seed,
+                                         serving_config_to_json(cc));
+    }
     auto chip = std::make_unique<ServingRuntime>(std::move(cc));
     chip->set_event_log(event_log_);
     chip->set_outcome_sink(
         [this, i](const Request& r, Outcome o, std::uint64_t cycle) {
           on_outcome(i, r, o, cycle);
         });
+    if (durab_.enabled()) {
+      auto cj = std::make_unique<Journal>();
+      cj->open(durab_.dir + "/chip-" + std::to_string(i) + ".log", chip_hdr,
+               durab_.recover);
+      chip->set_journal(cj.get());
+      chip->set_event_index_source(&event_index_);
+      chip_journals_.push_back(std::move(cj));
+    }
     chip->prime();
     chips_.push_back(std::move(chip));
   }
@@ -284,6 +314,20 @@ void FleetRuntime::main_loop() {
       }
     }
     if (best == -2) break;
+    // Durability hooks at the merged-event boundary (mirrors the
+    // single-chip loop in ServingRuntime::step): state is consistent
+    // here, so snapshots are replay-reproducible and a campaign SIGKILL
+    // can only tear the final journal line.
+    if (durab_.enabled()) {
+      if (durab_.snapshot_every > 0 && event_index_ > 0 &&
+          event_index_ % durab_.snapshot_every == 0) {
+        take_snapshot(event_index_);
+      }
+      if (durab_.kill_at_event > 0 &&
+          event_index_ + 1 == durab_.kill_at_event) {
+        std::raise(SIGKILL);
+      }
+    }
     now_ = std::max(now_, best_cycle);
     report_.drain_cycle = std::max(report_.drain_cycle, best_cycle);
     if (best == -1) {
@@ -291,6 +335,7 @@ void FleetRuntime::main_loop() {
     } else {
       chips_[static_cast<std::size_t>(best)]->step();
     }
+    event_index_ += 1;
   }
 }
 
@@ -320,7 +365,92 @@ FleetReport FleetRuntime::seal() {
         static_cast<double>(report_.submitted) /
         (static_cast<double>(horizon_) * cfg_.chip.cycle_ns * 1e-9);
   }
+  if (fleet_journal_) {
+    fleet_journal_->record(Journal::seal_payload(
+        event_index_, now_,
+        {{"sub", report_.submitted},
+         {"cmp", report_.completed},
+         {"rej", report_.rejected},
+         {"shd", report_.shed},
+         {"tmo", report_.timed_out},
+         {"fld", report_.failed},
+         {"que", report_.queued},
+         {"rtd", report_.routed},
+         {"xrt", report_.cross_retries},
+         {"hdg", report_.hedges_launched}}));
+  }
   return report_;
+}
+
+void FleetRuntime::take_snapshot(std::uint64_t index) {
+  // See ServingRuntime::take_snapshot: the journal record's byte-compare
+  // under replay is the cross-check that the rebuilt state's CRC matches
+  // the pre-crash one.
+  std::uint32_t crc = 0;
+  const std::string file =
+      write_snapshot(durab_.dir, index, snapshot_state(), &crc);
+  fleet_journal_->record(Journal::snap_payload(index, file, crc));
+}
+
+obs::Json FleetRuntime::snapshot_state() const {
+  obs::Json s = obs::Json::object();
+  s.set("cycle", now_);
+  s.set("event_index", event_index_);
+
+  obs::Json counters = obs::Json::object();
+  counters.set("submitted", report_.submitted);
+  counters.set("completed", report_.completed);
+  counters.set("rejected", report_.rejected);
+  counters.set("shed", report_.shed);
+  counters.set("timed_out", report_.timed_out);
+  counters.set("failed", report_.failed);
+  counters.set("routed", report_.routed);
+  counters.set("cross_retries", report_.cross_retries);
+  counters.set("reshards", report_.reshards);
+  counters.set("drains", report_.drains);
+  counters.set("crashes", report_.crashes);
+  counters.set("rejoins", report_.rejoins);
+  s.set("counters", std::move(counters));
+
+  obs::Json chip_states = obs::Json::array();
+  for (const ChipState& cs : states_) {
+    obs::Json cj = obs::Json::object();
+    cj.set("state", std::uint64_t{static_cast<unsigned>(cs.state)});
+    cj.set("outcomes", cs.outcomes);
+    cj.set("failures", cs.failures);
+    chip_states.push_back(std::move(cj));
+  }
+  s.set("chip_states", std::move(chip_states));
+
+  obs::Json shard = obs::Json::array();
+  for (const auto& placement : shard_map_) {
+    obs::Json row = obs::Json::array();
+    for (const std::uint32_t id : placement) {
+      row.push_back(std::uint64_t{id});
+    }
+    shard.push_back(std::move(row));
+  }
+  s.set("shard_map", std::move(shard));
+
+  s.set("outstanding", std::uint64_t{outstanding_.size()});
+  s.set("parked", std::uint64_t{parked_.size()});
+
+  obs::Json rngs = obs::Json::object();
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(workload_->rng_digest()));
+  rngs.set("workload", std::string(hex));
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(chaos_rng_.digest()));
+  rngs.set("chaos", std::string(hex));
+  s.set("rng", std::move(rngs));
+
+  // Every chip's own state dump: one fleet snapshot captures the whole
+  // machine (lanes, breakers, wear, WFQ ledgers, per-chip RNG cursors).
+  obs::Json chips = obs::Json::array();
+  for (const auto& chip : chips_) chips.push_back(chip->snapshot_state());
+  s.set("chips", std::move(chips));
+  return s;
 }
 
 void FleetRuntime::handle_fleet_event(const Event& e) {
@@ -351,6 +481,12 @@ void FleetRuntime::handle_fleet_arrival(const Event& e) {
   Outstanding ent;
   ent.original = e.request;
   outstanding_.emplace(e.request.id, std::move(ent));
+  // Fleet admission commitment: the request is now the fleet's to settle
+  // (exactly one terminal fate), journaled before any chip sees it.
+  if (fleet_journal_) {
+    fleet_journal_->record(
+        Journal::admit_payload(event_index_, now_, e.request));
+  }
   dispatch_to_fleet(e.request, /*first=*/true);
 }
 
@@ -426,6 +562,11 @@ void FleetRuntime::on_outcome(std::uint32_t chip, const Request& r, Outcome o,
     ent.done = true;
     report_.completed += 1;
     report_.latency_cycles.add(cycle - ent.original.arrival_cycle);
+    // Final-fate settlement: exactly one out record per fleet request.
+    if (fleet_journal_) {
+      fleet_journal_->record(Journal::outcome_payload(
+          event_index_, cycle, r.id, Outcome::kCompleted));
+    }
     if (ent.live == 0) outstanding_.erase(it);
     return;
   }
@@ -457,6 +598,10 @@ void FleetRuntime::on_outcome(std::uint32_t chip, const Request& r, Outcome o,
     case Outcome::kShed: report_.shed += 1; break;
     case Outcome::kTimedOut: report_.timed_out += 1; break;
     default: report_.failed += 1; break;
+  }
+  if (fleet_journal_) {
+    fleet_journal_->record(
+        Journal::outcome_payload(event_index_, cycle, r.id, ent.last_bad));
   }
   outstanding_.erase(it);
 }

@@ -186,6 +186,14 @@ class FleetRuntime {
   /// router name or an invalid config (0 chips, closed-loop template).
   FleetReport run();
 
+  /// Durability (runtime/journal.h): one fleet-level journal
+  /// (`dir`/fleet.log) plus one journal per chip (`dir`/chip-<i>.log),
+  /// all indexed by the merged loop's single global event counter so a
+  /// recovery replays every stream under the same total order. Snapshot
+  /// cadence and the crash-campaign kill hook live in the merged loop.
+  /// Call before run().
+  void enable_durability(const DurabilityOptions& opts) { durab_ = opts; }
+
  private:
   struct ChipState;
   struct Outstanding;
@@ -219,6 +227,10 @@ class FleetRuntime {
   void redispatch_all(std::vector<Request> work);
   void arm_health_tick();
   void arm_chaos_episode();
+  void take_snapshot(std::uint64_t index);
+  /// Fleet-level snapshot state: chip membership + shard map + cross-chip
+  /// retry/hedge bookkeeping + RNG digests + every chip's own state dump.
+  obs::Json snapshot_state() const;
   std::uint64_t hedge_delay_cycles() const;
   void log_control(const char* ev, std::uint32_t chip);
   bool elog_on() const noexcept {
@@ -242,6 +254,15 @@ class FleetRuntime {
   std::map<std::uint64_t, Outstanding> outstanding_;
   std::vector<Request> parked_;  ///< unroutable until a chip rejoins
   obs::EventLog* event_log_ = nullptr;
+
+  // -- durability (inert when durab_.dir is empty) -----------------------------
+  DurabilityOptions durab_;
+  std::unique_ptr<Journal> fleet_journal_;
+  std::vector<std::unique_ptr<Journal>> chip_journals_;
+  /// Merged-loop global event counter: the shared index source for the
+  /// fleet's and every chip's journal records.
+  std::uint64_t event_index_ = 0;
+
   FleetReport report_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <csignal>
+#include <filesystem>
 #include <set>
 #include <stdexcept>
 
@@ -13,6 +15,7 @@
 #include "reliability/verifier.h"
 #include "runtime/backend.h"
 #include "runtime/protocol_ops.h"
+#include "runtime/snapshot.h"
 
 namespace cryptopim::runtime {
 
@@ -379,6 +382,22 @@ void ServingRuntime::prime() {
 }
 
 void ServingRuntime::step() {
+  // Durability hooks fire at the event boundary, where the runtime's
+  // state is consistent: a snapshot taken here is exactly reproducible
+  // by a replay that processed the same number of events, and the crash
+  // campaign's SIGKILL lands between events so the journal's only
+  // possible damage is the torn tail the loader already tolerates.
+  // (Fleet mode leaves both with the fleet's merged loop.)
+  if (owned_journal_) {
+    if (durab_.snapshot_every > 0 && event_index_ > 0 &&
+        event_index_ % durab_.snapshot_every == 0) {
+      take_snapshot(event_index_);
+    }
+    if (durab_.kill_at_event > 0 &&
+        event_index_ + 1 == durab_.kill_at_event) {
+      std::raise(SIGKILL);
+    }
+  }
   const Event e = events_.pop();
   now_ = e.cycle;
   report_.drain_cycle = std::max(report_.drain_cycle, now_);
@@ -397,6 +416,7 @@ void ServingRuntime::step() {
     case EventKind::kChaos: handle_chaos(e); break;
     default: break;  // fleet kinds never reach a chip's queue
   }
+  event_index_ += 1;
 }
 
 ServingReport ServingRuntime::seal() {
@@ -421,6 +441,28 @@ ServingReport ServingRuntime::seal() {
                              1e-9);
   }
   publish_metrics();
+  // Clean end of run: the seal pins the final conservation counters, so
+  // a validator can check the whole ledger without the serving report
+  // and --recover can tell "finished" from "interrupted".
+  if (journal_ != nullptr) {
+    journal_->record(Journal::seal_payload(
+        jidx(), now_,
+        {{"sub", report_.submitted},
+         {"adm", report_.admitted},
+         {"cmp", report_.completed},
+         {"rej", report_.rejected + report_.rejected_unservable +
+                     report_.resilience.rejected_deadline},
+         {"shd", report_.resilience.shed},
+         {"tmo", report_.resilience.timed_out},
+         {"fld", report_.resilience.failed},
+         {"que", report_.queued},
+         {"inf", report_.in_flight},
+         // Ops cancelled by exactly-once protocol teardown: the gap
+         // between admitted and individually-fated ops in protocol mode
+         // (0 for raw requests), closing the op-granularity ledger.
+         {"cnl", report_.protocol.ops_cancelled},
+         {"wra", report_.resilience.wrong_accepted}}));
+  }
   return report_;
 }
 
@@ -435,7 +477,124 @@ void ServingRuntime::inject(Request r, std::uint64_t cycle) {
 }
 
 void ServingRuntime::emit_outcome(const Request& r, Outcome o) {
+  // Journal the terminal commitment *before* handing it to the fleet:
+  // if the process dies between the two, recovery re-delivers (the fleet
+  // replays deterministically too), never loses, the outcome.
+  if (journal_ != nullptr) {
+    journal_->record(Journal::outcome_payload(jidx(), now_, r.id, o));
+  }
   if (outcome_sink_) outcome_sink_(r, o, now_);
+}
+
+// -- durability ---------------------------------------------------------------
+
+namespace {
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+void ServingRuntime::enable_durability(const DurabilityOptions& opts) {
+  durab_ = opts;
+  if (!durab_.enabled()) return;
+  std::filesystem::create_directories(durab_.dir);
+  owned_journal_ = std::make_unique<Journal>();
+  const std::string hdr =
+      Journal::header_payload("single", cfg_.chip_id, cfg_.workload.seed,
+                              serving_config_to_json(cfg_));
+  owned_journal_->open(durab_.dir + "/journal.log", hdr, durab_.recover);
+  journal_ = owned_journal_.get();
+}
+
+void ServingRuntime::take_snapshot(std::uint64_t index) {
+  // Always (re)write the document — a replay passing this index rebuilds
+  // byte-identical state, so the rename lands the same content — then
+  // journal the CRC. During recovery the record byte-compare *is* the
+  // cross-check: a CRC drift from the pre-crash record throws.
+  std::uint32_t crc = 0;
+  const std::string file =
+      write_snapshot(durab_.dir, index, snapshot_state(), &crc);
+  journal_->record(Journal::snap_payload(index, file, crc));
+}
+
+obs::Json ServingRuntime::snapshot_state() const {
+  obs::Json s = obs::Json::object();
+  s.set("cycle", now_);
+  s.set("event_index", event_index_);
+  s.set("next_dispatch_id", next_dispatch_id_);
+  s.set("pending", std::uint64_t{pending_.size()});
+  s.set("in_flight", std::uint64_t{in_flight_.size()});
+  s.set("protos", std::uint64_t{protos_.size()});
+
+  obs::Json counters = obs::Json::object();
+  counters.set("submitted", report_.submitted);
+  counters.set("admitted", report_.admitted);
+  counters.set("completed", report_.completed);
+  counters.set("rejected", report_.rejected);
+  counters.set("rejected_unservable", report_.rejected_unservable);
+  counters.set("retried", report_.retried);
+  counters.set("repartitions", report_.repartitions);
+  counters.set("bank_failures", report_.bank_failures);
+  if (resilience_on_) {
+    counters.set("shed", report_.resilience.shed);
+    counters.set("timed_out", report_.resilience.timed_out);
+    counters.set("failed", report_.resilience.failed);
+    counters.set("retries", report_.resilience.retries);
+    counters.set("chaos_episodes", report_.resilience.chaos_episodes);
+  }
+  s.set("counters", std::move(counters));
+
+  // Lane geometry + per-lane resilience machinery (breaker, wear, chaos
+  // windows): the state whose drift under replay would change dispatch
+  // decisions.
+  obs::Json lanes = obs::Json::array();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = lanes_[i];
+    obs::Json lj = obs::Json::object();
+    lj.set("degree", std::uint64_t{lane.degree});
+    lj.set("banks", std::uint64_t{lane.banks});
+    lj.set("free_at", lane.free_at);
+    lj.set("in_flight", std::uint64_t{lane.in_flight});
+    lj.set("dead", lane.dead);
+    lj.set("draining", lane.draining);
+    lj.set("slow_until", lane.slow_until);
+    lj.set("corrupt_until", lane.corrupt_until);
+    lj.set("breaker_state",
+           std::uint64_t{static_cast<unsigned>(lane.breaker.state())});
+    lj.set("breaker_failures",
+           std::uint64_t{lane.breaker.consecutive_failures()});
+    lj.set("breaker_open_until", lane.breaker.open_until());
+    if (health_) lj.set("wear_writes", health_->wear_writes(i));
+    lanes.push_back(std::move(lj));
+  }
+  s.set("lanes", std::move(lanes));
+
+  obs::Json banks = obs::Json::object();
+  banks.set("allocated", std::uint64_t{allocated_banks_});
+  banks.set("failed", std::uint64_t{failed_banks_});
+  banks.set("usable", std::uint64_t{usable_banks()});
+  s.set("banks", std::move(banks));
+
+  // WFQ fairness ledgers (bank-cycles / weight per tenant).
+  obs::Json usage = obs::Json::array();
+  for (const double u : tenant_usage_) usage.push_back(obs::Json(u));
+  s.set("tenant_usage", std::move(usage));
+
+  // RNG cursors as non-advancing state digests, hex so the full 64 bits
+  // survive the JSON number path.
+  obs::Json rngs = obs::Json::object();
+  if (workload_) rngs.set("workload", u64_hex(workload_->rng_digest()));
+  if (resilience_on_) rngs.set("chaos", u64_hex(chaos_rng_.digest()));
+  s.set("rng", std::move(rngs));
+
+  s.set("chip_slow_until", chip_slow_until_);
+  s.set("chip_corrupt_until", chip_corrupt_until_);
+  return s;
 }
 
 std::vector<Request> ServingRuntime::extract_pending() {
@@ -649,6 +808,11 @@ void ServingRuntime::handle_arrival(const Event& e) {
   report_.admitted += 1;
   ts.admitted += 1;
   report_.series.count("admitted", now_);
+  // Admission commitment: journaled after the deadline stamp so replay
+  // matches the exact field set the runtime serves.
+  if (journal_ != nullptr) {
+    journal_->record(Journal::admit_payload(jidx(), now_, r));
+  }
   if (elog_on()) {
     obs::Json rec = ev_base("admitted", r);
     rec.set("degree", std::uint64_t{r.degree});
@@ -735,6 +899,11 @@ void ServingRuntime::handle_proto_arrival(const Event& e) {
   report_.admitted += n_ops;
   ts.admitted += n_ops;
   report_.series.count("admitted", now_, n_ops);
+  // One admission commitment for the whole DAG: the op expansion below
+  // is a pure function of the origin, so replay re-derives every op.
+  if (journal_ != nullptr) {
+    journal_->record(Journal::admit_payload(jidx(), now_, origin));
+  }
   if (retry_budget_) retry_budget_->on_admitted(origin.tenant);
   const bool hard_deadline = resilience_on_ && cfg_.resilience.deadline_us > 0;
 

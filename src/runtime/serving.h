@@ -60,6 +60,7 @@
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "runtime/event_queue.h"
+#include "runtime/journal.h"
 #include "runtime/policy.h"
 #include "runtime/protocol.h"
 #include "runtime/request.h"
@@ -327,6 +328,26 @@ class ServingRuntime {
   std::size_t in_flight_count() const noexcept { return in_flight_.size(); }
   std::uint64_t now() const noexcept { return now_; }
 
+  // -- durability (runtime/journal.h; inert unless wired) ----------------------
+  /// Single-chip mode: open (or recover) `opts.dir`/journal.log and own
+  /// it for the run. Call before prime()/run(). The stepping loop then
+  /// honours opts.snapshot_every and opts.kill_at_event.
+  void enable_durability(const DurabilityOptions& opts);
+  /// Fleet mode: commitments go to a fleet-owned chip journal, indexed
+  /// by the fleet's merged event counter (snapshot/kill cadence stays
+  /// with the fleet). Neither pointer is owned.
+  void set_journal(Journal* j) noexcept { journal_ = j; }
+  void set_event_index_source(const std::uint64_t* idx) noexcept {
+    ext_event_index_ = idx;
+  }
+  /// Events processed so far (the journal's global index in single-chip
+  /// mode).
+  std::uint64_t event_index() const noexcept { return event_index_; }
+  /// Full determinism-relevant state dump for snapshot/1 documents: lane
+  /// geometry and breaker/wear state, bank pool, WFQ ledgers, RNG
+  /// position digests, queue and in-flight occupancy, counters.
+  obs::Json snapshot_state() const;
+
  private:
   struct Lane;
   struct InFlight;
@@ -469,6 +490,19 @@ class ServingRuntime {
 
   obs::EventLog* event_log_ = nullptr;  ///< not owned; may be null
   OutcomeSink outcome_sink_;            ///< fleet callback; may be empty
+
+  // -- durability (inert when no journal is wired) -----------------------------
+  /// Journal index of the commitment being written: the fleet's merged
+  /// counter when driven externally, this chip's own otherwise.
+  std::uint64_t jidx() const noexcept {
+    return ext_event_index_ != nullptr ? *ext_event_index_ : event_index_;
+  }
+  void take_snapshot(std::uint64_t index);
+  DurabilityOptions durab_;                 ///< single-chip mode only
+  std::unique_ptr<Journal> owned_journal_;  ///< single-chip mode only
+  Journal* journal_ = nullptr;              ///< owned or fleet-provided
+  const std::uint64_t* ext_event_index_ = nullptr;  ///< fleet merged clock
+  std::uint64_t event_index_ = 0;
 
   // -- whole-chip episode state (inert at defaults: single-chip runs
   // never set these, so legacy output is byte-identical) ----------------------

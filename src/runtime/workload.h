@@ -57,6 +57,8 @@ class WorkloadGenerator {
   /// Closed loop: the re-issue after `r` completed at `now`.
   virtual std::optional<Arrival> next_after_completion(const Request& r,
                                                        std::uint64_t now) = 0;
+  /// RNG position fingerprint for snapshot cross-checks (0 = stateless).
+  virtual std::uint64_t rng_digest() const { return 0; }
 };
 
 /// Open-loop Poisson arrivals at `rate_per_cycle` until `horizon_cycles`.
@@ -71,6 +73,7 @@ class OpenLoopPoisson final : public WorkloadGenerator {
                                                std::uint64_t) override {
     return std::nullopt;
   }
+  std::uint64_t rng_digest() const override { return rng_.digest(); }
 
  private:
   WorkloadSpec spec_;
@@ -93,6 +96,7 @@ class ClosedLoop final : public WorkloadGenerator {
   }
   std::optional<Arrival> next_after_completion(const Request& r,
                                                std::uint64_t now) override;
+  std::uint64_t rng_digest() const override { return rng_.digest(); }
 
  private:
   WorkloadSpec spec_;

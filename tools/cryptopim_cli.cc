@@ -182,10 +182,33 @@ int serve_help() {
          "  --shares K           threshold share-holder count, 2..62\n"
          "                       (default 3; requires --protocol threshold)\n"
          "\n"
+         "durability (crash recovery; the flags below require --journal):\n"
+         "  --journal DIR        write-ahead journal + snapshots under DIR:\n"
+         "                       every admission and terminal outcome is a\n"
+         "                       CRC-framed, flushed record, so a killed run\n"
+         "                       loses at most a torn final line\n"
+         "  --snapshot-every N   persist a full state snapshot every N\n"
+         "                       global events (cross-checked as recovery\n"
+         "                       replays past them; 0 = journal only)\n"
+         "  --recover            recover from DIR: deterministically replay\n"
+         "                       the journaled prefix (each commitment is\n"
+         "                       matched, not re-delivered — exactly-once),\n"
+         "                       then resume serving live. Requires the\n"
+         "                       run's original flags\n"
+         "  --kill-at-event N    crash-campaign hook: raise SIGKILL before\n"
+         "                       processing global event N (0 = off)\n"
+         "\n"
          "observability:\n"
-         "  --events PATH        write the request-lifecycle event log as\n"
+         "  --events PATH        stream the request-lifecycle event log as\n"
          "                       JSONL (one record per transition: admitted,\n"
-         "                       dispatched, retry, hedge, completed, ...)\n"
+         "                       dispatched, retry, hedge, completed, ...),\n"
+         "                       written as the run progresses; control\n"
+         "                       records flush immediately, so a crashed\n"
+         "                       run's log is a parseable prefix\n"
+         "  --events-line-buffered\n"
+         "                       flush the event-log stream after every\n"
+         "                       record, not just control records (slower,\n"
+         "                       fully crash-synced; requires --events)\n"
          "  --slo A:LAT          SLO objectives: availability fraction and\n"
          "                       latency threshold in us (e.g. 0.999:50);\n"
          "                       the report gains per-window error-budget\n"
@@ -677,10 +700,31 @@ int cmd_serve(const Options& opt) {
       take_u64(args, "--breaker", res.breaker_k, 0, 1u << 20));
   res.wear_limit = take_u64(args, "--wear-limit", res.wear_limit);
 
+  // -- durability -------------------------------------------------------------
+  cp::runtime::DurabilityOptions durab;
+  const bool journal_given = flag_present("--journal");
+  durab.dir = take_value(args, "--journal").value_or("");
+  if (journal_given && durab.dir.empty()) {
+    throw UsageError("--journal requires a non-empty directory");
+  }
+  durab.snapshot_every = take_u64(args, "--snapshot-every", 0, 0, 1ull << 40);
+  durab.recover = take_flag(args, "--recover");
+  durab.kill_at_event = take_u64(args, "--kill-at-event", 0, 0, ~0ull >> 1);
+  if (!durab.enabled() &&
+      (durab.snapshot_every > 0 || durab.recover || durab.kill_at_event > 0)) {
+    throw UsageError(
+        "durability flags (--snapshot-every/--recover/--kill-at-event) "
+        "require --journal DIR");
+  }
+
   // -- observability ----------------------------------------------------------
   const auto events_path = take_value(args, "--events");
   if (events_path && events_path->empty()) {
     throw UsageError("--events requires a non-empty path");
+  }
+  const bool events_line_buffered = take_flag(args, "--events-line-buffered");
+  if (events_line_buffered && !events_path) {
+    throw UsageError("--events-line-buffered requires --events PATH");
   }
   cfg.window_cycles = static_cast<std::uint64_t>(
       take_double(args, "--window-us", 0.0, 0.0, 1e9) * cfg.cycles_per_us());
@@ -757,14 +801,15 @@ int cmd_serve(const Options& opt) {
     }
 
     cp::runtime::FleetRuntime fleet(std::move(fc));
+    if (durab.enabled()) fleet.enable_durability(durab);
     cp::obs::EventLog fleet_elog;
     if (events_path) {
-      fleet_elog.set_enabled(true);
+      fleet_elog.open_stream(*events_path, events_line_buffered);
       fleet.set_event_log(&fleet_elog);
     }
     const auto rep = fleet.run();
     if (events_path) {
-      fleet_elog.write_jsonl(*events_path);
+      fleet_elog.close_stream();
       std::cerr << "[events: " << *events_path << ", " << fleet_elog.size()
                 << " records]\n";
     }
@@ -845,14 +890,15 @@ int cmd_serve(const Options& opt) {
   }
 
   cp::runtime::ServingRuntime rt(cfg);
+  if (durab.enabled()) rt.enable_durability(durab);
   cp::obs::EventLog elog;
   if (events_path) {
-    elog.set_enabled(true);
+    elog.open_stream(*events_path, events_line_buffered);
     rt.set_event_log(&elog);
   }
   const auto rep = rt.run();
   if (events_path) {
-    elog.write_jsonl(*events_path);
+    elog.close_stream();
     std::cerr << "[events: " << *events_path << ", " << elog.size()
               << " records]\n";
   }

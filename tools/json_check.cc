@@ -8,12 +8,22 @@
 // --events: arguments are serve-events JSONL logs. Every line must
 // parse; the first must be a {"schema":"serve-events/1"} or
 // {"schema":"serve-events/2"} header whose "records" count matches the
-// body; every record needs "ev" + "cycle" (for /2, also "chip" — the
-// fleet-era field stamped on every record, control included);
-// request-scoped records (everything but the control set: carve,
-// bank_failure, and the fleet chip_crash / chip_brownout /
-// chip_corruption_storm / chip_drain / chip_rejoin / reshard) also
-// need "trace" and "tenant".
+// body ("streamed":true headers carry no count — the log was written
+// live and the total was unknowable up front); every record needs
+// "ev" + "cycle" (for /2, also "chip" — the fleet-era field stamped on
+// every record, control included); request-scoped records (everything
+// but the control set: carve, bank_failure, and the fleet chip_crash /
+// chip_brownout / chip_corruption_storm / chip_drain / chip_rejoin /
+// reshard) also need "trace" and "tenant".
+//
+// --journal: arguments are journal/1 write-ahead journals
+// (runtime/journal.h). Every line is "<crc32 hex8> <payload>"; the CRC
+// must match the payload bytes, the first record must be a journal/1
+// "hdr", and each record type must carry its required fields (admit:
+// the request field set; out: id + fate; snap: file + state crc; seal:
+// counters). A torn tail — one invalid final line, the residue of a
+// crash mid-write — is tolerated and reported; an invalid line
+// *followed by valid ones* is mid-file corruption and rejected.
 //
 // --serving: arguments are `serve --json` reports. The document must
 // carry report.schema "serving/2" with a "backend" provenance field
@@ -35,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/crc32.h"
 #include "obs/json.h"
 
 using cryptopim::obs::Json;
@@ -67,6 +78,7 @@ bool check_events(const std::string& path, const std::string& text) {
   std::uint64_t declared = 0;
   std::uint64_t records = 0;
   bool v2 = false;
+  bool streamed = false;
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -85,8 +97,16 @@ bool check_events(const std::string& path, const std::string& text) {
         return fail(path, "missing serve-events/1|2 header");
       }
       v2 = schema == "serve-events/2";
-      if (!j.contains("records")) return fail(path, "header lacks 'records'");
-      declared = j.at("records").as_u64();
+      // Streamed logs are written record-by-record as the run progresses
+      // (and may be a crash's prefix), so the header cannot declare a
+      // count; buffered logs must, and it must match.
+      streamed = j.contains("streamed") && j.at("streamed").as_bool();
+      if (!streamed) {
+        if (!j.contains("records")) {
+          return fail(path, "header lacks 'records'");
+        }
+        declared = j.at("records").as_u64();
+      }
       continue;
     }
     ++records;
@@ -117,12 +137,138 @@ bool check_events(const std::string& path, const std::string& text) {
     }
   }
   if (lineno == 0) return fail(path, "empty event log");
-  if (records != declared) {
+  if (!streamed && records != declared) {
     return fail(path, "header declares " + std::to_string(declared) +
                           " records, found " + std::to_string(records));
   }
   std::cout << "ok " << path << " (" << records << " events, serve-events/"
-            << (v2 ? "2" : "1") << ")\n";
+            << (v2 ? "2" : "1") << (streamed ? ", streamed" : "") << ")\n";
+  return true;
+}
+
+bool check_journal(const std::string& path, const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t records = 0;
+  bool sealed = false;
+  // Torn-tail discipline (mirrors runtime/journal.h Journal::load): the
+  // line that fails framing is held pending — tolerated if nothing valid
+  // follows (a crash tore the final write), fatal otherwise (mid-file
+  // corruption).
+  std::size_t pending_bad = 0;
+  std::string pending_why;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto bad = [&](const std::string& why) {
+      pending_bad = lineno;
+      pending_why = why;
+    };
+    if (pending_bad != 0) {
+      return fail(path, "line " + std::to_string(pending_bad) + ": " +
+                            pending_why + " (followed by more records: "
+                            "mid-file corruption, not a torn tail)");
+    }
+    const auto sp = line.find(' ');
+    if (sp != 8) {
+      bad("malformed frame (want '<crc32 hex8> <payload>')");
+      continue;
+    }
+    std::uint32_t crc = 0;
+    bool hex_ok = true;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const char c = line[i];
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else { hex_ok = false; break; }
+      crc = (crc << 4) | static_cast<std::uint32_t>(digit);
+    }
+    if (!hex_ok) {
+      bad("malformed crc");
+      continue;
+    }
+    const std::string payload = line.substr(9);
+    if (cryptopim::obs::crc32(payload) != crc) {
+      bad("crc mismatch");
+      continue;
+    }
+    const auto r = parse_json(payload);
+    if (!r.ok) {
+      bad("payload does not parse: " + r.error);
+      continue;
+    }
+    const Json& j = r.value;
+    if (!j.is_object() || !j.contains("t")) {
+      bad("payload lacks 't'");
+      continue;
+    }
+    const std::string t = j.at("t").as_string();
+    if (lineno == 1) {
+      if (t != "hdr" || !j.contains("schema") ||
+          j.at("schema").as_string() != "journal/1") {
+        return fail(path, "first record is not a journal/1 header");
+      }
+      for (const char* f : {"mode", "chip", "seed", "config"}) {
+        if (!j.contains(f)) {
+          return fail(path, std::string("header lacks '") + f + "'");
+        }
+      }
+    } else if (t == "hdr") {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": duplicate header");
+    } else if (t == "admit") {
+      for (const char* f : {"i", "c", "id", "tn", "deg", "ac", "sv", "ds"}) {
+        if (!j.contains(f)) {
+          return fail(path, "line " + std::to_string(lineno) +
+                                ": admit record lacks '" + f + "'");
+        }
+      }
+    } else if (t == "out") {
+      for (const char* f : {"i", "c", "id", "o"}) {
+        if (!j.contains(f)) {
+          return fail(path, "line " + std::to_string(lineno) +
+                                ": out record lacks '" + f + "'");
+        }
+      }
+      const std::string o = j.at("o").as_string();
+      if (o != "completed" && o != "rejected" && o != "shed" &&
+          o != "timed_out" && o != "failed") {
+        return fail(path, "line " + std::to_string(lineno) +
+                              ": unknown outcome '" + o + "'");
+      }
+    } else if (t == "snap") {
+      for (const char* f : {"i", "file", "crc"}) {
+        if (!j.contains(f)) {
+          return fail(path, "line " + std::to_string(lineno) +
+                                ": snap record lacks '" + f + "'");
+        }
+      }
+    } else if (t == "seal") {
+      if (sealed) {
+        return fail(path, "line " + std::to_string(lineno) +
+                              ": duplicate seal");
+      }
+      if (!j.contains("i") || !j.contains("c")) {
+        return fail(path, "line " + std::to_string(lineno) +
+                              ": seal record lacks i/c");
+      }
+      sealed = true;
+    } else {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": unknown record type '" + t + "'");
+    }
+    if (sealed && t != "seal") {
+      return fail(path, "line " + std::to_string(lineno) +
+                            ": record after the seal");
+    }
+    ++records;
+  }
+  if (records == 0) return fail(path, "no valid journal header");
+  std::cout << "ok " << path << " (journal/1, " << records << " records"
+            << (sealed ? ", sealed" : "")
+            << (pending_bad != 0 ? ", torn tail dropped" : "") << ")\n";
   return true;
 }
 
@@ -256,18 +402,20 @@ bool check_fleet(const std::string& path, const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kPlain, kEvents, kServing, kFleet } mode = Mode::kPlain;
+  enum class Mode { kPlain, kEvents, kServing, kFleet, kJournal } mode =
+      Mode::kPlain;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--events") mode = Mode::kEvents;
     else if (a == "--serving") mode = Mode::kServing;
     else if (a == "--fleet") mode = Mode::kFleet;
+    else if (a == "--journal") mode = Mode::kJournal;
     else files.push_back(a);
   }
   if (files.empty()) {
-    std::cerr << "usage: json_check [--events|--serving|--fleet] <file> "
-                 "[<file> ...]\n";
+    std::cerr << "usage: json_check [--events|--serving|--fleet|--journal] "
+                 "<file> [<file> ...]\n";
     return 2;
   }
   int failures = 0;
@@ -287,6 +435,7 @@ int main(int argc, char** argv) {
       case Mode::kEvents: ok = check_events(path, text); break;
       case Mode::kServing: ok = check_serving(path, text); break;
       case Mode::kFleet: ok = check_fleet(path, text); break;
+      case Mode::kJournal: ok = check_journal(path, text); break;
     }
     if (!ok) ++failures;
   }

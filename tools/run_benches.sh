@@ -55,6 +55,7 @@ bench_chaos_serving
 bench_backend_throughput
 bench_fleet_serving
 bench_protocol_serving
+bench_recovery
 "
 
 failures=0

@@ -1,0 +1,431 @@
+// Crash-at-any-event recovery campaign.
+//
+// Proves the durability subsystem's core claim — a serve run SIGKILLed
+// before processing *any* global event recovers to a byte-identical end
+// state — by actually doing it, at scale, against the real CLI binary:
+//
+//   1. Reference: run `cryptopim serve <flags> --journal <dir>/ref`
+//      uninterrupted; its seal record pins the total event count and the
+//      expected journal/report bytes.
+//   2. For each sampled kill point k in [1, total]:
+//        a. crash   — fresh run with --kill-at-event k; the runtime
+//           raises a real SIGKILL (no destructors, no flushes), so the
+//           driver requires the child to die by that signal;
+//        b. tear    — every --tear-every'th point additionally chops
+//           bytes off the journal tail, simulating a write torn by the
+//           kill landing mid-record;
+//        c. recover — re-run with --recover; must exit 0;
+//        d. verify  — the recovered stdout report and every journal
+//           file must be byte-equal to the reference's, the seal's
+//           conservation identity must close, and the admitted-id set
+//           must match the reference exactly once each (no duplicate,
+//           no lost, no invented admissions).
+//
+// Any deviation is a violation; the campaign prints per-category counts
+// and exits non-zero if any occurred. Used both as a ctest smoke (a few
+// points) and as the full >=1000-point acceptance sweep.
+//
+// Usage:
+//   run_crash_campaign --cli BIN --dir DIR [--points N] [--tear-every M]
+//                      -- <serve flags...>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void die(const std::string& msg) {
+  std::cerr << "run_crash_campaign: " << msg << "\n";
+  std::exit(2);
+}
+
+// Forks and execs `argv`, redirecting the child's stdout to
+// `stdout_path` (or /dev/null when empty) and stderr to /dev/null
+// unless `keep_stderr`. Returns the raw wait() status.
+int run_child(const std::vector<std::string>& argv,
+              const std::string& stdout_path, bool keep_stderr) {
+  pid_t pid = fork();
+  if (pid < 0) die("fork failed");
+  if (pid == 0) {
+    const char* out = stdout_path.empty() ? "/dev/null" : stdout_path.c_str();
+    int fd = ::open(out, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) _exit(126);
+    dup2(fd, STDOUT_FILENO);
+    ::close(fd);
+    if (!keep_stderr) {
+      int nul = ::open("/dev/null", O_WRONLY);
+      if (nul >= 0) {
+        dup2(nul, STDERR_FILENO);
+        ::close(nul);
+      }
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) die("waitpid failed");
+  return status;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Extracts `"key":<u64>` from a hand-formatted journal payload.
+// Returns false when the key is absent.
+bool find_u64(const std::string& payload, const std::string& key,
+              std::uint64_t* out) {
+  std::string needle = "\"" + key + "\":";
+  std::size_t pos = payload.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  if (pos >= payload.size() || payload[pos] < '0' || payload[pos] > '9')
+    return false;
+  std::uint64_t v = 0;
+  while (pos < payload.size() && payload[pos] >= '0' && payload[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(payload[pos] - '0');
+    ++pos;
+  }
+  *out = v;
+  return true;
+}
+
+// One journal file, parsed just far enough for the campaign's semantic
+// checks (byte comparison is the primary oracle; this is the
+// independent cross-check).
+struct JournalScan {
+  bool ok = false;
+  std::string error;
+  bool fleet = false;
+  bool sealed = false;
+  std::string seal;                  // seal payload (empty if unsealed)
+  std::vector<std::uint64_t> admits; // admit record ids, in order
+};
+
+JournalScan scan_journal(const std::string& path) {
+  JournalScan s;
+  std::string text = slurp(path);
+  if (text.empty()) {
+    s.error = "empty or missing journal: " + path;
+    return s;
+  }
+  std::size_t start = 0;
+  bool first = true;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // torn tail: ignore
+    std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.size() < 10 || line[8] != ' ') {
+      s.error = "bad frame in " + path;
+      return s;
+    }
+    std::string payload = line.substr(9);
+    if (first) {
+      first = false;
+      if (payload.find("\"t\":\"hdr\"") == std::string::npos) {
+        s.error = "first record is not a header in " + path;
+        return s;
+      }
+      s.fleet = payload.find("\"mode\":\"fleet\"") != std::string::npos;
+      continue;
+    }
+    if (payload.find("\"t\":\"admit\"") != std::string::npos) {
+      std::uint64_t id = 0;
+      if (!find_u64(payload, "id", &id)) {
+        s.error = "admit without id in " + path;
+        return s;
+      }
+      s.admits.push_back(id);
+    } else if (payload.find("\"t\":\"seal\"") != std::string::npos) {
+      s.sealed = true;
+      s.seal = payload;
+    }
+  }
+  s.ok = true;
+  return s;
+}
+
+// Sum of the named counters (absent keys count as 0).
+std::uint64_t sum_fields(const std::string& seal,
+                         std::initializer_list<const char*> keys) {
+  std::uint64_t total = 0;
+  for (const char* k : keys) {
+    std::uint64_t v = 0;
+    if (find_u64(seal, k, &v)) total += v;
+  }
+  return total;
+}
+
+// Checks the conservation identities on a seal payload. Returns an
+// empty string when everything closes.
+std::string check_conservation(const JournalScan& s) {
+  if (!s.sealed) return "journal is not sealed";
+  std::uint64_t sub = 0;
+  if (!find_u64(s.seal, "sub", &sub)) return "seal missing sub";
+  if (s.fleet) {
+    // Fleet ledger: every submitted request reaches exactly one
+    // fleet-terminal fate.
+    std::uint64_t fated =
+        sum_fields(s.seal, {"cmp", "rej", "shd", "tmo", "fld", "que"});
+    if (sub != fated)
+      return "fleet conservation: sub " + std::to_string(sub) +
+             " != fated " + std::to_string(fated);
+    return {};
+  }
+  std::uint64_t adm = 0, rej = 0;
+  if (!find_u64(s.seal, "adm", &adm)) return "seal missing adm";
+  find_u64(s.seal, "rej", &rej);
+  if (sub != adm + rej)
+    return "admission conservation: sub " + std::to_string(sub) + " != adm " +
+           std::to_string(adm) + " + rej " + std::to_string(rej);
+  // Op ledger: every admitted op reaches exactly one terminal fate or is
+  // cancelled by exactly-once protocol teardown.
+  std::uint64_t fated = sum_fields(
+      s.seal, {"cmp", "shd", "tmo", "fld", "que", "inf", "cnl"});
+  if (adm != fated)
+    return "op conservation: adm " + std::to_string(adm) + " != fated " +
+           std::to_string(fated);
+  // A corrupt result delivered as correct is never acceptable, crashed
+  // or not.
+  std::uint64_t wra = 0;
+  if (find_u64(s.seal, "wra", &wra) && wra != 0)
+    return "wrong-accepted: " + std::to_string(wra);
+  return {};
+}
+
+// Admitted-id multiset as (id -> count); exactly-once means every count
+// is 1 and the sets match the reference.
+std::string check_admits(const std::vector<std::uint64_t>& got,
+                         const std::vector<std::uint64_t>& want) {
+  std::multiset<std::uint64_t> g(got.begin(), got.end());
+  std::multiset<std::uint64_t> w(want.begin(), want.end());
+  for (std::uint64_t id : g)
+    if (g.count(id) > 1) return "duplicate admission id " + std::to_string(id);
+  if (g != w)
+    return "admission set mismatch: " + std::to_string(g.size()) +
+           " recovered vs " + std::to_string(w.size()) + " reference";
+  return {};
+}
+
+struct Args {
+  std::string cli;
+  std::string dir;
+  std::uint64_t points = 1000;
+  std::uint64_t tear_every = 10;  // 0 = never tear
+  bool verbose = false;
+  std::vector<std::string> serve_flags;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) die(std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (arg == "--cli") {
+      a.cli = next("--cli");
+    } else if (arg == "--dir") {
+      a.dir = next("--dir");
+    } else if (arg == "--points") {
+      a.points = std::strtoull(next("--points").c_str(), nullptr, 10);
+    } else if (arg == "--tear-every") {
+      a.tear_every = std::strtoull(next("--tear-every").c_str(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      a.verbose = true;
+    } else if (arg == "--") {
+      ++i;
+      break;
+    } else {
+      die("unknown flag " + arg +
+          " (usage: run_crash_campaign --cli BIN --dir DIR [--points N] "
+          "[--tear-every M] -- <serve flags...>)");
+    }
+  }
+  for (; i < argc; ++i) a.serve_flags.push_back(argv[i]);
+  if (a.cli.empty() || a.dir.empty()) die("--cli and --dir are required");
+  if (a.points == 0) die("--points must be > 0");
+  return a;
+}
+
+std::vector<std::string> serve_argv(const Args& a, const std::string& jdir,
+                                    std::vector<std::string> extra) {
+  std::vector<std::string> v{a.cli, "serve"};
+  for (const std::string& f : a.serve_flags) v.push_back(f);
+  v.push_back("--json");
+  v.push_back("--journal");
+  v.push_back(jdir);
+  for (std::string& e : extra) v.push_back(std::move(e));
+  return v;
+}
+
+// The journal files a run directory is expected to contain, primary
+// (seal-bearing, tearable) file first.
+std::vector<std::string> journal_files(const std::string& dir) {
+  std::vector<std::string> files;
+  if (fs::exists(dir + "/fleet.log")) {
+    files.push_back("fleet.log");
+    std::vector<std::string> chips;
+    for (const auto& ent : fs::directory_iterator(dir)) {
+      std::string name = ent.path().filename().string();
+      if (name.rfind("chip-", 0) == 0 && name.size() > 9 &&
+          name.substr(name.size() - 4) == ".log")
+        chips.push_back(name);
+    }
+    std::sort(chips.begin(), chips.end());
+    for (std::string& c : chips) files.push_back(std::move(c));
+  } else {
+    files.push_back("journal.log");
+  }
+  return files;
+}
+
+// Chops `n` bytes off the file's tail if it has at least two complete
+// records (never tears into the header line). Returns true if torn.
+bool tear_tail(const std::string& path, std::uint64_t n) {
+  std::string text = slurp(path);
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  if (lines < 2 || text.size() <= n + 12) return false;
+  std::error_code ec;
+  fs::resize_file(path, text.size() - n, ec);
+  return !ec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse_args(argc, argv);
+
+  std::error_code ec;
+  fs::remove_all(a.dir, ec);
+  fs::create_directories(a.dir);
+  std::string ref_dir = a.dir + "/ref";
+  std::string run_dir = a.dir + "/run";
+  std::string ref_stdout = a.dir + "/ref.stdout";
+  std::string run_stdout = a.dir + "/run.stdout";
+
+  // -- reference run ----------------------------------------------------------
+  int status = run_child(serve_argv(a, ref_dir, {}), ref_stdout, true);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+    die("reference run failed (status " + std::to_string(status) + ")");
+  std::vector<std::string> files = journal_files(ref_dir);
+  JournalScan ref = scan_journal(ref_dir + "/" + files[0]);
+  if (!ref.ok) die("reference journal: " + ref.error);
+  std::string cons = check_conservation(ref);
+  if (!cons.empty()) die("reference run: " + cons);
+  std::uint64_t total = 0;
+  if (!find_u64(ref.seal, "i", &total) || total == 0)
+    die("reference seal has no event count");
+  std::string ref_report = slurp(ref_stdout);
+  std::vector<std::string> ref_journals;
+  for (const std::string& f : files) ref_journals.push_back(slurp(ref_dir + "/" + f));
+
+  std::uint64_t points = a.points < total ? a.points : total;
+  std::cout << "crash campaign: " << total << " events, " << points
+            << " kill points, mode " << (ref.fleet ? "fleet" : "single")
+            << "\n";
+
+  // -- campaign ---------------------------------------------------------------
+  std::uint64_t crash_bad = 0, recover_bad = 0, report_bad = 0;
+  std::uint64_t journal_bad = 0, conserve_bad = 0, admit_bad = 0;
+  std::uint64_t torn_points = 0;
+  for (std::uint64_t p = 0; p < points; ++p) {
+    // Stride sample: evenly spaced, always includes event 1, ends near
+    // the final event; distinct by construction when points <= total.
+    std::uint64_t k = 1 + (p * (total - 1)) / (points > 1 ? points - 1 : 1);
+    fs::remove_all(run_dir, ec);
+
+    int cs = run_child(
+        serve_argv(a, run_dir, {"--kill-at-event", std::to_string(k)}),
+        "", false);
+    if (!WIFSIGNALED(cs) || WTERMSIG(cs) != SIGKILL) {
+      ++crash_bad;
+      if (a.verbose)
+        std::cout << "  k=" << k << " crash run did not die by SIGKILL"
+                  << " (status " << cs << ")\n";
+      continue;
+    }
+
+    if (a.tear_every > 0 && (p + 1) % a.tear_every == 0) {
+      if (tear_tail(run_dir + "/" + files[0], 7)) ++torn_points;
+    }
+
+    int rs = run_child(serve_argv(a, run_dir, {"--recover"}), run_stdout, false);
+    if (!WIFEXITED(rs) || WEXITSTATUS(rs) != 0) {
+      ++recover_bad;
+      if (a.verbose)
+        std::cout << "  k=" << k << " recover failed (status " << rs << ")\n";
+      continue;
+    }
+
+    if (slurp(run_stdout) != ref_report) {
+      ++report_bad;
+      if (a.verbose) std::cout << "  k=" << k << " recovered report differs\n";
+    }
+    bool jbad = false;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      if (slurp(run_dir + "/" + files[f]) != ref_journals[f]) jbad = true;
+    }
+    if (jbad) {
+      ++journal_bad;
+      if (a.verbose) std::cout << "  k=" << k << " recovered journal differs\n";
+    }
+    JournalScan rec = scan_journal(run_dir + "/" + files[0]);
+    std::string err = rec.ok ? check_conservation(rec) : rec.error;
+    if (!err.empty()) {
+      ++conserve_bad;
+      if (a.verbose) std::cout << "  k=" << k << " " << err << "\n";
+    }
+    if (rec.ok) {
+      err = check_admits(rec.admits, ref.admits);
+      if (!err.empty()) {
+        ++admit_bad;
+        if (a.verbose) std::cout << "  k=" << k << " " << err << "\n";
+      }
+    }
+  }
+
+  std::uint64_t violations = crash_bad + recover_bad + report_bad +
+                             journal_bad + conserve_bad + admit_bad;
+  std::cout << "crash campaign: " << points << " points (" << torn_points
+            << " torn), violations: crash " << crash_bad << ", recover "
+            << recover_bad << ", report " << report_bad << ", journal "
+            << journal_bad << ", conservation " << conserve_bad
+            << ", admission " << admit_bad << "\n";
+  if (violations != 0) {
+    std::cout << "FAIL: " << violations << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "PASS: recovery byte-identical at every kill point\n";
+  return 0;
+}
